@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Ablation: writeback chunk granularity (paper Section 4.2,
+ * footnote 4 fixes it at 64 B).
+ *
+ * Smaller chunks track dirty data more precisely (fewer spurious
+ * writeback words) but need more state bits per stash; larger chunks
+ * amortize the per-chunk map index at the cost of coarser tracking.
+ * The Implicit and On-demand microbenchmarks bracket the tradeoff:
+ * dense writes are insensitive, sparse writes punish large chunks.
+ */
+
+#include "bench_util.hh"
+
+using namespace benchutil;
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = quickMode(argc, argv);
+    std::printf("Ablation: stash writeback chunk granularity\n\n");
+    std::printf("%-10s %8s %12s %12s %16s %14s\n", "workload",
+                "chunk", "cycles", "energy(nJ)", "words written back",
+                "flit-hops");
+
+    for (const char *name : {"Implicit", "On-demand", "Reuse"}) {
+        for (unsigned chunk : {64u, 128u, 256u}) {
+            SystemConfig cfg = SystemConfig::microbenchmarkDefault();
+            cfg.stashChunkBytes = chunk;
+            RunResult r =
+                runMicrobenchmark(name, MemOrg::Stash, quick, &cfg);
+            std::printf("%-10s %6uB %12llu %12.0f %16llu %14llu\n",
+                        name, chunk,
+                        (unsigned long long)r.gpuCycles,
+                        r.energy.total() / 1e3,
+                        (unsigned long long)
+                            r.stats.stash.wordsWrittenBack,
+                        (unsigned long long)
+                            r.stats.noc.totalFlitHops());
+        }
+    }
+    std::printf("\nnote: 64 B is the paper's choice; per-word "
+                "coherence state bounds the\nimprecision, so only "
+                "the per-chunk index/bit overhead varies below "
+                "64 B.\n");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation: the Section 4.5 data-replication (reuseBit)
+ * optimization, on versus off.
+ *
+ * Replication pays off when several mappings of the same tile are
+ * live in one stash — Reuse's repeated kernels are the paper's
+ * motivating case, and LUD's shared diagonal/strip tiles are the
+ * application case.  With the optimization off, every such miss
+ * goes to the memory system instead of a local copy.
+ */
+
+#include "bench_util.hh"
+
+using namespace benchutil;
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = quickMode(argc, argv);
+    std::printf("Ablation: stash data-replication optimization "
+                "(Section 4.5)\n\n");
+    std::printf("%-10s %-6s %12s %12s %14s %14s\n", "workload", "repl",
+                "cycles", "energy(nJ)", "repl. hits", "flit-hops");
+
+    auto run_micro = [&](const char *name, bool opt) {
+        SystemConfig cfg = SystemConfig::microbenchmarkDefault();
+        cfg.stashReplicationOpt = opt;
+        return runMicrobenchmark(name, MemOrg::Stash, quick, &cfg);
+    };
+    auto run_app = [&](const char *name, bool opt) {
+        SystemConfig cfg = SystemConfig::applicationDefault();
+        cfg.stashReplicationOpt = opt;
+        return runApplication(name, MemOrg::Stash, quick, &cfg);
+    };
+
+    for (const char *name : {"Reuse", "On-demand"}) {
+        for (bool opt : {true, false}) {
+            RunResult r = run_micro(name, opt);
+            std::printf("%-10s %-6s %12llu %12.0f %14llu %14llu\n",
+                        name, opt ? "on" : "off",
+                        (unsigned long long)r.gpuCycles,
+                        r.energy.total() / 1e3,
+                        (unsigned long long)
+                            r.stats.stash.replicationHits,
+                        (unsigned long long)
+                            r.stats.noc.totalFlitHops());
+        }
+    }
+    for (const char *name : {"LUD", "SGEMM"}) {
+        for (bool opt : {true, false}) {
+            RunResult r = run_app(name, opt);
+            std::printf("%-10s %-6s %12llu %12.0f %14llu %14llu\n",
+                        name, opt ? "on" : "off",
+                        (unsigned long long)r.gpuCycles,
+                        r.energy.total() / 1e3,
+                        (unsigned long long)
+                            r.stats.stash.replicationHits,
+                        (unsigned long long)
+                            r.stats.noc.totalFlitHops());
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Ablation: stash-map capacity (paper Section 4.1.3 sizes it at 64:
+ * 8 concurrent thread blocks x 4 maps, doubled for lazy-writeback
+ * headroom).
+ *
+ * A smaller map recycles entries sooner: replaced entries must drain
+ * their dirty data immediately (replacement stalls) and cross-kernel
+ * replication matches disappear.  LUD (3 mappings per block, deep
+ * kernel sequence) and the Reuse microbenchmark show both effects.
+ */
+
+#include "bench_util.hh"
+
+using namespace benchutil;
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = quickMode(argc, argv);
+    std::printf("Ablation: stash-map entries\n\n");
+    std::printf("%-10s %8s %12s %14s %18s %14s\n", "workload",
+                "entries", "cycles", "repl. hits",
+                "replacement stalls", "flit-hops");
+
+    auto report = [](const char *name, unsigned entries,
+                     const RunResult &r) {
+        std::printf("%-10s %8u %12llu %14llu %18llu %14llu\n", name,
+                    entries, (unsigned long long)r.gpuCycles,
+                    (unsigned long long)r.stats.stash.replicationHits,
+                    (unsigned long long)
+                        r.stats.stash.mapReplacementStalls,
+                    (unsigned long long)r.stats.noc.totalFlitHops());
+    };
+
+    for (unsigned entries : {16u, 32u, 64u, 128u}) {
+        SystemConfig cfg = SystemConfig::microbenchmarkDefault();
+        cfg.stashMapEntries = entries;
+        report("Reuse", entries,
+               runMicrobenchmark("Reuse", MemOrg::Stash, quick, &cfg));
+    }
+    std::printf("\n");
+    for (unsigned entries : {16u, 32u, 64u, 128u}) {
+        SystemConfig cfg = SystemConfig::applicationDefault();
+        cfg.stashMapEntries = entries;
+        report("LUD", entries,
+               runApplication("LUD", MemOrg::StashG, quick, &cfg));
+    }
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Ablation: the stash's miss translation latency (Table 2 charges
+ * 10 cycles for the stash-map arithmetic plus VP-map lookup).
+ *
+ * Translation is only on the miss path — hits are direct — so the
+ * sensitivity depends on the miss rate: On-demand (every access a
+ * compulsory miss) is the worst case, Reuse (hits after the first
+ * kernel) barely notices.
+ */
+
+#include "bench_util.hh"
+
+using namespace benchutil;
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = quickMode(argc, argv);
+    std::printf("Ablation: stash miss translation latency\n\n");
+    std::printf("%-10s %8s %12s %12s\n", "workload", "cycles/xl",
+                "run cycles", "vs 10cy");
+
+    for (const char *name : {"Implicit", "On-demand", "Reuse"}) {
+        Cycles base_cycles = 0;
+        for (Cycles xl : {0u, 5u, 10u, 20u, 40u}) {
+            SystemConfig cfg = SystemConfig::microbenchmarkDefault();
+            cfg.stashTranslationCycles = xl;
+            RunResult r =
+                runMicrobenchmark(name, MemOrg::Stash, quick, &cfg);
+            if (xl == 10)
+                base_cycles = r.gpuCycles;
+            std::printf("%-10s %8llu %12llu", name,
+                        (unsigned long long)xl,
+                        (unsigned long long)r.gpuCycles);
+            if (base_cycles)
+                std::printf(" %11.2fx",
+                            double(r.gpuCycles) /
+                                double(base_cycles));
+            std::printf("\n");
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

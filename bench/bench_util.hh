@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction benches: run a
+ * workload under a configuration, normalize against the Scratch
+ * baseline, and print paper-style rows with the paper's reported
+ * values alongside for comparison (EXPERIMENTS.md is generated from
+ * these outputs).
+ */
+
+#ifndef STASHSIM_BENCH_BENCH_UTIL_HH
+#define STASHSIM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "driver/system.hh"
+#include "workloads/apps.hh"
+#include "workloads/microbench.hh"
+
+namespace benchutil
+{
+
+using namespace stashsim;
+
+/** True when the bench was invoked with --quick (scaled inputs). */
+inline bool
+quickMode(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            return true;
+    }
+    return false;
+}
+
+/** Runs one microbenchmark under @p org at the given scale. */
+inline RunResult
+runMicrobenchmark(const std::string &name, MemOrg org, bool quick,
+                  const SystemConfig *cfg_override = nullptr,
+                  const EnergyParams &ep = EnergyParams{})
+{
+    SystemConfig cfg = cfg_override
+                           ? *cfg_override
+                           : SystemConfig::microbenchmarkDefault();
+    cfg.memOrg = org;
+    workloads::MicrobenchConfig mb;
+    mb.org = org;
+    mb.cpuCores = cfg.numCpuCores;
+    if (quick) {
+        mb.implicitElements /= 4;
+        mb.pollutionElementsA /= 4;
+        mb.onDemandElements /= 4;
+        mb.reuseKernels = 4;
+    }
+    System sys(cfg, ep);
+    RunResult r =
+        sys.run(workloads::makeMicrobenchmark(name, mb));
+    if (!r.validated) {
+        std::fprintf(stderr, "WARNING: %s/%s failed validation\n",
+                     name.c_str(), memOrgName(org));
+    }
+    return r;
+}
+
+/** Runs one application under @p org at the given scale. */
+inline RunResult
+runApplication(const std::string &name, MemOrg org, bool quick,
+               const SystemConfig *cfg_override = nullptr)
+{
+    SystemConfig cfg = cfg_override
+                           ? *cfg_override
+                           : SystemConfig::applicationDefault();
+    cfg.memOrg = org;
+    workloads::AppConfig ac;
+    ac.org = org;
+    ac.cpuCores = cfg.numCpuCores;
+    if (quick) {
+        ac.ludN = 128;
+        ac.nwN = 256;
+        ac.pfCols = 256 * 64;
+        ac.stencilIters = 2;
+    }
+    System sys(cfg);
+    RunResult r = sys.run(workloads::makeApplication(name, ac));
+    if (!r.validated) {
+        std::fprintf(stderr, "WARNING: %s/%s failed validation\n",
+                     name.c_str(), memOrgName(org));
+    }
+    return r;
+}
+
+/** Prints a normalized row: name then value/baseline per config. */
+inline void
+printNormalizedRow(const std::string &label,
+                   const std::vector<double> &values, double baseline)
+{
+    std::printf("%-11s", label.c_str());
+    for (double v : values)
+        std::printf(" %8.2f", baseline > 0 ? v / baseline : 0.0);
+    std::printf("\n");
+}
+
+/** Prints the standard bench header with the simulated system. */
+inline void
+printSystemBanner(const char *what, const SystemConfig &cfg,
+                  bool quick)
+{
+    std::printf("================================================="
+                "=====================\n");
+    std::printf("%s\n", what);
+    std::printf("system (Table 2): %ux%u mesh, %u GPU CU%s + %u CPU "
+                "core%s, %u KB L1, %u KB %s, %u MB L2, DeNovo\n",
+                cfg.meshWidth, cfg.meshHeight, cfg.numGpuCus,
+                cfg.numGpuCus == 1 ? "" : "s", cfg.numCpuCores,
+                cfg.numCpuCores == 1 ? "" : "s", cfg.l1Bytes / 1024,
+                cfg.localBytes / 1024,
+                usesStash(cfg.memOrg) ? "stash" : "scratchpad/stash",
+                cfg.llcBanks * cfg.llcBankBytes / (1024 * 1024));
+    if (quick)
+        std::printf("mode: --quick (scaled-down inputs)\n");
+    std::printf("================================================="
+                "=====================\n\n");
+}
+
+} // namespace benchutil
+
+#endif // STASHSIM_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Reproduces Figure 5: the four microbenchmarks under Scratch,
+ * ScratchGD (scratchpad + DMA), Cache, and Stash.
+ *
+ * Four panels, all normalized to the Scratch configuration:
+ *   (a) execution time (GPU cycles end-to-end)
+ *   (b) dynamic energy, with the five-way breakdown
+ *       (GPU core+ / L1 D$ / scratch-stash / L2 $ / N/W)
+ *   (c) GPU instruction count
+ *   (d) network traffic (flit crossings), split read/write/WB
+ *
+ * The paper's average results for comparison (Section 6.2): stash
+ * reduces cycles by 13% / 27% / 14% and energy by 35% / 53% / 32%
+ * versus scratchpad / cache / DMA respectively.
+ */
+
+#include "bench_util.hh"
+
+using namespace benchutil;
+
+namespace
+{
+
+const std::vector<MemOrg> configs = {MemOrg::Scratch,
+                                     MemOrg::ScratchGD, MemOrg::Cache,
+                                     MemOrg::Stash};
+
+struct Row
+{
+    std::string name;
+    std::map<MemOrg, RunResult> results;
+};
+
+void
+printPanelHeader(const char *title)
+{
+    std::printf("--- %s (normalized to Scratch) ---\n", title);
+    std::printf("%-11s", "");
+    for (MemOrg org : configs)
+        std::printf(" %9s", memOrgName(org));
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = quickMode(argc, argv);
+    const SystemConfig cfg = SystemConfig::microbenchmarkDefault();
+    printSystemBanner(
+        "Figure 5: microbenchmark comparison "
+        "(Implicit / Pollution / On-demand / Reuse)",
+        cfg, quick);
+
+    std::vector<Row> rows;
+    for (const auto &name : workloads::microbenchmarkNames()) {
+        Row row;
+        row.name = name;
+        for (MemOrg org : configs) {
+            std::fprintf(stderr, "running %s/%s...\n", name.c_str(),
+                         memOrgName(org));
+            row.results[org] = runMicrobenchmark(name, org, quick);
+        }
+        rows.push_back(std::move(row));
+    }
+
+    // ---- (a) execution time ------------------------------------
+    printPanelHeader("(a) Execution time");
+    std::map<MemOrg, double> geo_time;
+    for (auto &row : rows) {
+        const double base =
+            double(row.results[MemOrg::Scratch].gpuCycles);
+        std::printf("%-11s", row.name.c_str());
+        for (MemOrg org : configs) {
+            const double v = double(row.results[org].gpuCycles) / base;
+            geo_time[org] += v;
+            std::printf(" %9.2f", v);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-11s", "AVERAGE");
+    for (MemOrg org : configs)
+        std::printf(" %9.2f", geo_time[org] / rows.size());
+    std::printf("\n  paper avg: Stash = 0.87 vs Scratch, 0.73 vs "
+                "Cache, 0.86 vs ScratchGD\n\n");
+
+    // ---- (b) dynamic energy ------------------------------------
+    printPanelHeader("(b) Dynamic energy");
+    std::map<MemOrg, double> avg_energy;
+    for (auto &row : rows) {
+        const double base =
+            row.results[MemOrg::Scratch].energy.total();
+        std::printf("%-11s", row.name.c_str());
+        for (MemOrg org : configs) {
+            const double v = row.results[org].energy.total() / base;
+            avg_energy[org] += v;
+            std::printf(" %9.2f", v);
+        }
+        std::printf("\n");
+        // Per-configuration breakdown rows (the stacked-bar data).
+        for (MemOrg org : configs) {
+            const EnergyBreakdown &e = row.results[org].energy;
+            std::printf("  %-9s core+ %4.1f%%  L1 %4.1f%%  "
+                        "scr/stash %4.1f%%  L2 %4.1f%%  N/W %4.1f%%\n",
+                        memOrgName(org), 100 * e.gpuCore / e.total(),
+                        100 * e.l1 / e.total(),
+                        100 * e.local / e.total(),
+                        100 * e.l2 / e.total(),
+                        100 * e.noc / e.total());
+        }
+    }
+    std::printf("%-11s", "AVERAGE");
+    for (MemOrg org : configs)
+        std::printf(" %9.2f", avg_energy[org] / rows.size());
+    std::printf("\n  paper avg: Stash = 0.65 vs Scratch, 0.47 vs "
+                "Cache, 0.68 vs ScratchGD\n\n");
+
+    // ---- (c) GPU instruction count ------------------------------
+    printPanelHeader("(c) GPU instruction count");
+    for (auto &row : rows) {
+        const double base =
+            double(row.results[MemOrg::Scratch].stats.gpu.instructions);
+        std::printf("%-11s", row.name.c_str());
+        for (MemOrg org : configs) {
+            std::printf(" %9.2f",
+                        double(row.results[org].stats.gpu.instructions) /
+                            base);
+        }
+        std::printf("\n");
+    }
+    std::printf("  paper: Implicit Stash executes ~40%% fewer "
+                "instructions than Scratch\n\n");
+
+    // ---- (d) network traffic ------------------------------------
+    printPanelHeader("(d) Network traffic (flit crossings)");
+    for (auto &row : rows) {
+        const double base = double(
+            row.results[MemOrg::Scratch].stats.noc.totalFlitHops());
+        std::printf("%-11s", row.name.c_str());
+        for (MemOrg org : configs) {
+            std::printf(
+                " %9.2f",
+                double(row.results[org].stats.noc.totalFlitHops()) /
+                    base);
+        }
+        std::printf("\n");
+        for (MemOrg org : configs) {
+            const NocStats &n = row.results[org].stats.noc;
+            const double t = double(n.totalFlitHops());
+            std::printf("  %-9s read %4.1f%%  write %4.1f%%  "
+                        "WB %4.1f%%\n",
+                        memOrgName(org), 100 * n.flitHops[0] / t,
+                        100 * n.flitHops[1] / t,
+                        100 * n.flitHops[2] / t);
+        }
+    }
+    std::printf("\n  paper: On-demand Stash has ~48%% less traffic "
+                "than DMA; Reuse ~83%% less\n");
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Reproduces Figure 6: the seven applications (LUD, SURF, BP, NW,
+ * PF, SGEMM, STENCIL) under Scratch, ScratchG, Cache, Stash, and
+ * StashG.
+ *
+ * Two panels, normalized to Scratch per application:
+ *   (a) execution time
+ *   (b) dynamic energy with the five-way breakdown
+ *
+ * The paper's reference results (Section 6.3): StashG reduces
+ * execution time by 10% on average (max 22%) and energy by 16%
+ * (max 30%) versus Scratch; versus Cache, 12% time (max 31%) and
+ * 32% energy (max 51%).  ScratchG is ~7%/12% *worse* than Scratch.
+ * The paper's per-app normalized values, read off Figure 6:
+ *   time:   LUD 121/103/100 (ScratchG/Cache over 100=Scratch);
+ *   energy: values above the clipped bars are printed by this bench
+ *           for side-by-side comparison.
+ */
+
+#include "bench_util.hh"
+
+using namespace benchutil;
+
+namespace
+{
+
+const std::vector<MemOrg> configs = {MemOrg::Scratch, MemOrg::ScratchG,
+                                     MemOrg::Cache, MemOrg::Stash,
+                                     MemOrg::StashG};
+
+void
+printHeader(const char *title)
+{
+    std::printf("--- %s (normalized to Scratch) ---\n", title);
+    std::printf("%-9s", "");
+    for (MemOrg org : configs)
+        std::printf(" %9s", memOrgName(org));
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = quickMode(argc, argv);
+    const SystemConfig cfg = SystemConfig::applicationDefault();
+    printSystemBanner("Figure 6: application comparison (7 GPU "
+                      "applications, 15 CUs + 1 CPU)",
+                      cfg, quick);
+
+    std::map<std::string, std::map<MemOrg, RunResult>> results;
+    for (const auto &name : workloads::applicationNames()) {
+        for (MemOrg org : configs) {
+            std::fprintf(stderr, "running %s/%s...\n", name.c_str(),
+                         memOrgName(org));
+            results[name][org] = runApplication(name, org, quick);
+        }
+    }
+
+    // ---- (a) execution time ------------------------------------
+    printHeader("(a) Execution time");
+    std::map<MemOrg, double> avg_time;
+    for (const auto &name : workloads::applicationNames()) {
+        auto &per = results[name];
+        const double base = double(per[MemOrg::Scratch].gpuCycles);
+        std::printf("%-9s", name.c_str());
+        for (MemOrg org : configs) {
+            const double v = double(per[org].gpuCycles) / base;
+            avg_time[org] += v;
+            std::printf(" %9.2f", v);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-9s", "AVERAGE");
+    for (MemOrg org : configs)
+        std::printf(" %9.2f", avg_time[org] / 7.0);
+    std::printf("\n  paper avg: ScratchG 1.07, Cache 1.02, StashG "
+                "0.90 (vs Scratch 1.00)\n\n");
+
+    // ---- (b) dynamic energy ------------------------------------
+    printHeader("(b) Dynamic energy");
+    std::map<MemOrg, double> avg_energy;
+    for (const auto &name : workloads::applicationNames()) {
+        auto &per = results[name];
+        const double base = per[MemOrg::Scratch].energy.total();
+        std::printf("%-9s", name.c_str());
+        for (MemOrg org : configs) {
+            const double v = per[org].energy.total() / base;
+            avg_energy[org] += v;
+            std::printf(" %9.2f", v);
+        }
+        std::printf("\n");
+        for (MemOrg org : configs) {
+            const EnergyBreakdown &e = per[org].energy;
+            std::printf("  %-9s core+ %4.1f%%  L1 %4.1f%%  "
+                        "scr/stash %4.1f%%  L2 %4.1f%%  N/W %4.1f%%\n",
+                        memOrgName(org), 100 * e.gpuCore / e.total(),
+                        100 * e.l1 / e.total(),
+                        100 * e.local / e.total(),
+                        100 * e.l2 / e.total(),
+                        100 * e.noc / e.total());
+        }
+    }
+    std::printf("%-9s", "AVERAGE");
+    for (MemOrg org : configs)
+        std::printf(" %9.2f", avg_energy[org] / 7.0);
+    std::printf("\n  paper avg: ScratchG 1.12, Cache 1.18, StashG "
+                "0.84 (vs Scratch 1.00)\n");
+    return 0;
+}

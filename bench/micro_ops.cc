@@ -1,0 +1,168 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's own hot paths
+ * (simulation throughput, not simulated performance): event-queue
+ * scheduling, mesh transport, tile translation arithmetic, and the
+ * L1/stash access paths.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/stash.hh"
+#include "mem/cache.hh"
+#include "mem/llc.hh"
+#include "mem/main_memory.hh"
+#include "noc/mesh.hh"
+
+namespace
+{
+
+using namespace stashsim;
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    EventQueue eq;
+    int sink = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            eq.scheduleIn(i, [&sink]() { ++sink; });
+        eq.run();
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_MeshSend(benchmark::State &state)
+{
+    EventQueue eq;
+    Mesh mesh(eq, MeshParams{});
+    int sink = 0;
+    for (auto _ : state) {
+        mesh.send(0, 15, 72, MsgClass::Read, [&sink]() { ++sink; });
+        eq.run();
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_MeshSend);
+
+void
+BM_TileTranslation(benchmark::State &state)
+{
+    TileSpec t;
+    t.globalBase = 0x1000'0000;
+    t.fieldSize = 4;
+    t.objectSize = 64;
+    t.rowSize = 256;
+    t.strideSize = 64 * 1024;
+    t.numStrides = 8;
+    std::uint32_t off = 0;
+    for (auto _ : state) {
+        const Addr ga = t.globalAddrOf(off % t.mappedBytes());
+        std::uint32_t back;
+        benchmark::DoNotOptimize(t.reverse(ga, &back));
+        off += 4;
+    }
+}
+BENCHMARK(BM_TileTranslation);
+
+struct MiniSystem
+{
+    EventQueue eq;
+    MainMemory mem;
+    PageTable pt;
+    Mesh mesh{eq, MeshParams{}};
+    Fabric fabric{mesh};
+    std::vector<std::unique_ptr<LlcBank>> llc;
+    std::unique_ptr<Tlb> tlb;
+    std::unique_ptr<L1Cache> cache;
+    std::unique_ptr<Stash> stash;
+
+    MiniSystem()
+    {
+        for (NodeId n = 0; n < 16; ++n) {
+            llc.push_back(std::make_unique<LlcBank>(
+                eq, fabric, mem, n, LlcBank::Params{}));
+            fabric.registerObject(n, Unit::Llc, llc.back().get());
+        }
+        tlb = std::make_unique<Tlb>(pt, 64);
+        cache = std::make_unique<L1Cache>(eq, fabric, *tlb, 0,
+                                          NodeId(0),
+                                          L1Cache::Params{});
+        fabric.registerObject(NodeId(0), Unit::L1, cache.get());
+        fabric.registerCore(0, NodeId(0));
+        stash = std::make_unique<Stash>(eq, fabric, pt, 1, NodeId(1),
+                                        Stash::Params{});
+        fabric.registerObject(NodeId(1), Unit::Stash, stash.get());
+        fabric.registerCore(1, NodeId(1));
+    }
+};
+
+void
+BM_L1HitPath(benchmark::State &state)
+{
+    MiniSystem s;
+    // Warm one line.
+    s.cache->access(0x1000, fullLineMask, false, nullptr,
+                    [](const LineData &) {});
+    s.eq.run();
+    for (auto _ : state) {
+        s.cache->access(0x1000, wordBit(3), false, nullptr,
+                        [](const LineData &) {});
+        s.eq.run();
+    }
+}
+BENCHMARK(BM_L1HitPath);
+
+void
+BM_StashHitPath(benchmark::State &state)
+{
+    MiniSystem s;
+    TileSpec t;
+    t.globalBase = 0x2000;
+    t.fieldSize = 4;
+    t.objectSize = 4;
+    t.rowSize = 256;
+    t.numStrides = 1;
+    auto r = s.stash->addMap(0, t);
+    LineData d;
+    s.stash->access(0, fullLineMask, true, &d, r.idx,
+                    [](const LineData &) {});
+    s.eq.run();
+    for (auto _ : state) {
+        s.stash->access(0, wordBit(3), false, nullptr, r.idx,
+                        [](const LineData &) {});
+        s.eq.run();
+    }
+}
+BENCHMARK(BM_StashHitPath);
+
+void
+BM_StashMissFillPath(benchmark::State &state)
+{
+    MiniSystem s;
+    TileSpec t;
+    t.globalBase = 0x100000;
+    t.fieldSize = 4;
+    t.objectSize = 64;
+    t.rowSize = 4096;
+    t.numStrides = 1;
+    auto r = s.stash->addMap(0, t);
+    std::uint32_t i = 0;
+    for (auto _ : state) {
+        const LocalAddr a = LocalAddr((i % 4096) * 4) &
+                            ~LocalAddr(63);
+        s.stash->access(a, wordBit(i % 16), false, nullptr, r.idx,
+                        [](const LineData &) {});
+        s.eq.run();
+        ++i;
+        if (i % 4096 == 0)
+            s.stash->endKernel();
+    }
+}
+BENCHMARK(BM_StashMissFillPath);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Array-of-structs field processing — the paper's Figure 1 scenario,
+ * written directly against the public kernel API.
+ *
+ * An array of 64-byte objects lives in the global address space; the
+ * GPU updates one 4-byte field of each object.  The example builds
+ * the stash version of Figure 1b by hand — an AddMap with the paper's
+ * exact parameters (stashBase, globalBase, fieldSize, objectSize,
+ * rowSize, strideSize, numStrides, isCoherent) followed by direct
+ * stash loads/stores — and contrasts it with the explicit-copy
+ * scratchpad version of Figure 1a, showing the instruction count,
+ * traffic, and energy the implicit movement saves, plus the compact
+ * storage (32 strided fields occupy 128 contiguous stash bytes).
+ */
+
+#include <cstdio>
+
+#include "driver/system.hh"
+#include "workloads/kernel_builder.hh"
+
+using namespace stashsim;
+
+namespace
+{
+
+constexpr Addr aosBase = 0x1000'0000;
+constexpr unsigned objectBytes = 64;
+constexpr unsigned numElements = 4096;
+constexpr unsigned threadsPerBlock = 256;
+
+/** Builds the kernel for one memory organization. */
+Workload
+makeWorkload(MemOrg org)
+{
+    const unsigned warps = threadsPerBlock / 32;
+    const unsigned num_tbs = numElements / threadsPerBlock;
+
+    Workload wl;
+    wl.name = "aos_field_processing";
+    wl.init = [](FunctionalMem &fm) {
+        for (unsigned i = 0; i < numElements; ++i)
+            fm.writeWord(aosBase + Addr(i) * objectBytes, i);
+    };
+
+    Kernel k;
+    k.name = "update_fieldX";
+    for (unsigned tb = 0; tb < num_tbs; ++tb) {
+        TbBuilder b(org, warps);
+
+        // The Figure 1b mapping: one field of each object in this
+        // block's slice of the AoS.
+        TileUse use;
+        use.tile.globalBase =
+            aosBase + Addr(tb) * threadsPerBlock * objectBytes;
+        use.tile.fieldSize = sizeof(std::uint32_t);
+        use.tile.objectSize = objectBytes;
+        use.tile.rowSize = threadsPerBlock;
+        use.tile.strideSize = 0;
+        use.tile.numStrides = 1;
+        use.tile.isCoherent = true;
+        use.readIn = true;
+        use.writeOut = true;
+        const unsigned t = b.addTile(use);
+
+        // local[i] = compute(local[i]) — compute() here is "+1".
+        for (unsigned w = 0; w < warps; ++w) {
+            b.accessTile(w, t, laneElems(w * 32, 32), false);
+            b.compute(w, 1, 1);
+            b.accessTile(w, t, laneElems(w * 32, 32), true);
+        }
+        k.blocks.push_back(b.build());
+    }
+    wl.phases.push_back(Phase::gpu(std::move(k)));
+
+    wl.validate = [](FunctionalMem &fm, std::vector<std::string> &) {
+        for (unsigned i = 0; i < numElements; ++i) {
+            if (fm.readWord(aosBase + Addr(i) * objectBytes) != i + 1)
+                return false;
+        }
+        return true;
+    };
+    return wl;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("AoS field processing (the paper's Figure 1)\n");
+    std::printf("%u objects x %u B, one 4 B field updated by the "
+                "GPU\n\n",
+                numElements, objectBytes);
+    std::printf("%-10s %10s %13s %12s %12s %6s\n", "config", "cycles",
+                "instructions", "flit-hops", "energy (nJ)", "ok");
+
+    for (MemOrg org : {MemOrg::Scratch, MemOrg::ScratchGD,
+                       MemOrg::Cache, MemOrg::Stash}) {
+        SystemConfig cfg = SystemConfig::microbenchmarkDefault();
+        cfg.memOrg = org;
+        System sys(cfg);
+        RunResult r = sys.run(makeWorkload(org));
+        std::printf("%-10s %10llu %13llu %12llu %12.0f %6s\n",
+                    memOrgName(org),
+                    (unsigned long long)r.gpuCycles,
+                    (unsigned long long)r.stats.gpu.instructions,
+                    (unsigned long long)r.stats.noc.totalFlitHops(),
+                    r.energy.total() / 1e3,
+                    r.validated ? "yes" : "NO");
+    }
+
+    std::printf("\nThe stash version executes no explicit copy "
+                "instructions (Figure 1b),\nfetches only the 4-byte "
+                "fields (not their 64-byte lines), and stores the\n"
+                "%u strided fields compactly in %u contiguous stash "
+                "bytes per block.\n",
+                threadsPerBlock, threadsPerBlock * 4);
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Cross-kernel data reuse — the stash's global visibility at work.
+ *
+ * A bank of per-particle state is updated by a chain of GPU kernels
+ * (a simple "simulation steps" pattern).  With a scratchpad, every
+ * kernel must copy the state in and write it back out — the
+ * scratchpad is private and dies with the kernel.  With a stash, the
+ * first kernel faults the state in; each later kernel's AddMap finds
+ * the identical mapping still resident (the Section 4.5 replication
+ * check), its loads hit registered words kept across the kernel
+ * boundary, and nothing moves until a CPU finally reads the results
+ * through the coherence protocol.
+ */
+
+#include <cstdio>
+
+#include "driver/system.hh"
+#include "workloads/kernel_builder.hh"
+
+using namespace stashsim;
+
+namespace
+{
+
+constexpr Addr stateBase = 0x2000'0000;
+/** One 64 B record per particle; the kernel updates one 4 B field.
+ *  The 4096 fields fill the 16 KB stash compactly, while their
+ *  records span 256 KB — far beyond the 32 KB L1. */
+constexpr unsigned particleBytes = 64;
+constexpr unsigned numParticles = 4096;
+constexpr unsigned steps = 8;
+constexpr unsigned threadsPerBlock = 128;
+
+Workload
+makeWorkload(MemOrg org, unsigned cpu_cores)
+{
+    const unsigned warps = threadsPerBlock / 32;
+    const unsigned num_tbs = numParticles / threadsPerBlock;
+
+    Workload wl;
+    wl.name = "multi_kernel_reuse";
+    wl.init = [](FunctionalMem &fm) {
+        for (unsigned i = 0; i < numParticles; ++i)
+            fm.writeWord(stateBase + Addr(i) * particleBytes, i);
+    };
+
+    for (unsigned step = 0; step < steps; ++step) {
+        Kernel k;
+        k.name = "sim_step";
+        for (unsigned tb = 0; tb < num_tbs; ++tb) {
+            TbBuilder b(org, warps);
+            TileUse use;
+            use.tile.globalBase =
+                stateBase +
+                Addr(tb) * threadsPerBlock * particleBytes;
+            use.tile.fieldSize = 4;
+            use.tile.objectSize = particleBytes;
+            use.tile.rowSize = threadsPerBlock;
+            use.tile.numStrides = 1;
+            use.readIn = true;
+            use.writeOut = true;
+            const unsigned t = b.addTile(use);
+            for (unsigned w = 0; w < warps; ++w) {
+                b.accessTile(w, t, laneElems(w * 32, 32), false);
+                b.compute(w, 4, 1); // integrate: state += 1
+                b.accessTile(w, t, laneElems(w * 32, 32), true);
+            }
+            k.blocks.push_back(b.build());
+        }
+        wl.phases.push_back(Phase::gpu(std::move(k)));
+    }
+
+    // The CPU consumes the final state through coherence.
+    std::vector<std::vector<CpuOp>> consume(cpu_cores);
+    for (unsigned i = 0; i < numParticles; ++i) {
+        consume[i % cpu_cores].push_back(
+            CpuOp{stateBase + Addr(i) * particleBytes, false,
+                  i + steps, true});
+    }
+    wl.phases.push_back(Phase::cpu(std::move(consume)));
+
+    wl.validate = [](FunctionalMem &fm, std::vector<std::string> &) {
+        for (unsigned i = 0; i < numParticles; ++i) {
+            if (fm.readWord(stateBase + Addr(i) * particleBytes) !=
+                i + steps)
+                return false;
+        }
+        return true;
+    };
+    return wl;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Multi-kernel reuse: %u particles x %u simulation "
+                "steps\n\n",
+                numParticles, steps);
+    std::printf("%-10s %10s %12s %12s %12s %6s\n", "config", "cycles",
+                "flit-hops", "stash hits", "writebacks", "ok");
+
+    for (MemOrg org : {MemOrg::Scratch, MemOrg::ScratchGD,
+                       MemOrg::Cache, MemOrg::Stash}) {
+        SystemConfig cfg = SystemConfig::microbenchmarkDefault();
+        cfg.memOrg = org;
+        System sys(cfg);
+        RunResult r = sys.run(makeWorkload(org, cfg.numCpuCores));
+        std::printf("%-10s %10llu %12llu %12llu %12llu %6s\n",
+                    memOrgName(org),
+                    (unsigned long long)r.gpuCycles,
+                    (unsigned long long)r.stats.noc.totalFlitHops(),
+                    (unsigned long long)r.stats.stash.hits(),
+                    (unsigned long long)
+                        r.stats.stash.wordsWrittenBack,
+                    r.validated ? "yes" : "NO");
+    }
+
+    std::printf("\nAfter the first step, the stash serves every "
+                "access locally: the state\nstays registered across "
+                "kernel boundaries and is written back lazily —\n"
+                "here, never during the run; the CPU pulls the final "
+                "values directly\nfrom the stash through the "
+                "directory.\n");
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Sparse, data-dependent access — on-demand movement vs conservative
+ * bulk transfer.
+ *
+ * A graph-processing-style kernel visits a frontier: each warp
+ * evaluates a runtime condition and touches only the few elements
+ * that pass.  A scratchpad (even DMA-assisted) must conservatively
+ * preload and write back the whole mapped tile; the stash faults in
+ * exactly the touched words and registers exactly the written ones.
+ * The example sweeps the frontier density to show the crossover.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "driver/system.hh"
+#include "workloads/kernel_builder.hh"
+
+using namespace stashsim;
+
+namespace
+{
+
+constexpr Addr nodeBase = 0x3000'0000;
+constexpr unsigned objectBytes = 64; // graph-node records
+constexpr unsigned numNodes = 4096;
+constexpr unsigned threadsPerBlock = 256;
+
+Workload
+makeWorkload(MemOrg org, unsigned touched_per_warp)
+{
+    const unsigned warps = threadsPerBlock / 32;
+    const unsigned num_tbs = numNodes / threadsPerBlock;
+
+    Workload wl;
+    wl.name = "sparse_on_demand";
+    wl.init = [](FunctionalMem &fm) {
+        for (unsigned i = 0; i < numNodes; ++i)
+            fm.writeWord(nodeBase + Addr(i) * objectBytes, i);
+    };
+
+    Kernel k;
+    k.name = "visit_frontier";
+    for (unsigned tb = 0; tb < num_tbs; ++tb) {
+        TbBuilder b(org, warps);
+        TileUse use;
+        use.tile.globalBase =
+            nodeBase + Addr(tb) * threadsPerBlock * objectBytes;
+        use.tile.fieldSize = 4;
+        use.tile.objectSize = objectBytes;
+        use.tile.rowSize = threadsPerBlock;
+        use.tile.numStrides = 1;
+        use.readIn = true;
+        use.writeOut = true;
+        const unsigned t = b.addTile(use);
+
+        for (unsigned w = 0; w < warps; ++w) {
+            b.compute(w, 1); // evaluate the frontier condition
+            std::vector<std::uint32_t> elems;
+            for (unsigned i = 0; i < touched_per_warp; ++i)
+                elems.push_back(w * 32 + (i * 11 + tb * 3) % 32);
+            std::sort(elems.begin(), elems.end());
+            elems.erase(std::unique(elems.begin(), elems.end()),
+                        elems.end());
+            b.accessTile(w, t, elems, false);
+            b.compute(w, 2, 1);
+            b.accessTile(w, t, elems, true);
+        }
+        k.blocks.push_back(b.build());
+    }
+    wl.phases.push_back(Phase::gpu(std::move(k)));
+    return wl;
+}
+
+RunResult
+run(MemOrg org, unsigned touched)
+{
+    SystemConfig cfg = SystemConfig::microbenchmarkDefault();
+    cfg.memOrg = org;
+    System sys(cfg);
+    return sys.run(makeWorkload(org, touched));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Sparse on-demand access: %u graph nodes, varying "
+                "frontier density\n\n",
+                numNodes);
+    std::printf("%-18s %14s %14s %14s\n", "touched lanes/32",
+                "Stash flits", "ScratchGD flits", "Stash/DMA");
+
+    for (unsigned touched : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        RunResult rs = run(MemOrg::Stash, touched);
+        RunResult rd = run(MemOrg::ScratchGD, touched);
+        const double ratio =
+            double(rs.stats.noc.totalFlitHops()) /
+            double(rd.stats.noc.totalFlitHops());
+        std::printf("%-18u %14llu %14llu %13.2fx\n", touched,
+                    (unsigned long long)rs.stats.noc.totalFlitHops(),
+                    (unsigned long long)rd.stats.noc.totalFlitHops(),
+                    ratio);
+    }
+
+    std::printf("\nDMA moves the whole tile regardless of the "
+                "frontier; the stash's traffic\nscales with what the "
+                "kernel actually touches (the paper's On-demand\n"
+                "microbenchmark is the 1/32 row).\n");
+    return 0;
+}

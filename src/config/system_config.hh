@@ -1,0 +1,116 @@
+/**
+ * @file
+ * System configuration: the paper's Table 2 parameters plus the six
+ * simulated memory configurations of Section 5.3.
+ */
+
+#ifndef STASHSIM_CONFIG_SYSTEM_CONFIG_HH
+#define STASHSIM_CONFIG_SYSTEM_CONFIG_HH
+
+#include <string>
+
+#include "sim/types.hh"
+
+namespace stashsim
+{
+
+/**
+ * The six memory organizations evaluated by the paper (Section 5.3).
+ */
+enum class MemOrg
+{
+    Scratch,   //!< 16 KB scratchpad + 32 KB L1; original access types
+    ScratchG,  //!< Scratch with global accesses moved to the scratchpad
+    ScratchGD, //!< ScratchG with a D2MA-style DMA engine
+    Cache,     //!< 32 KB L1 only; scratchpad accesses made global
+    Stash,     //!< 16 KB stash + 32 KB L1
+    StashG,    //!< Stash with global accesses moved to the stash
+};
+
+/** Printable name of a memory organization. */
+const char *memOrgName(MemOrg org);
+
+/** True for the configurations that use a stash. */
+constexpr bool
+usesStash(MemOrg org)
+{
+    return org == MemOrg::Stash || org == MemOrg::StashG;
+}
+
+/** True for the configurations that use a scratchpad. */
+constexpr bool
+usesScratchpad(MemOrg org)
+{
+    return org == MemOrg::Scratch || org == MemOrg::ScratchG ||
+           org == MemOrg::ScratchGD;
+}
+
+/**
+ * All structural and timing parameters of the simulated system.
+ * Defaults reproduce Table 2 of the paper.
+ */
+struct SystemConfig
+{
+    // --- Topology -----------------------------------------------------
+    unsigned meshWidth = 4;
+    unsigned meshHeight = 4;
+    /** GPU CUs; 1 for microbenchmarks, 15 for applications. */
+    unsigned numGpuCus = 1;
+    /** CPU cores; 15 for microbenchmarks, 1 for applications. */
+    unsigned numCpuCores = 15;
+
+    MemOrg memOrg = MemOrg::Scratch;
+
+    // --- L1 caches ----------------------------------------------------
+    unsigned l1Bytes = 32 * 1024;
+    unsigned l1Assoc = 8;
+    unsigned l1Mshrs = 64;
+    Cycles l1HitCycles = 1;
+
+    // --- Scratchpad / stash --------------------------------------------
+    unsigned localBytes = 16 * 1024; //!< scratchpad or stash size
+    unsigned localBanks = 32;
+    unsigned stashMapEntries = 64;
+    unsigned vpMapEntries = 64; //!< TLB and RTLB entries each
+    unsigned stashChunkBytes = 64;
+    unsigned mapsPerThreadBlock = 4;
+    Cycles stashTranslationCycles = 10;
+    Cycles localHitCycles = 1;
+    /** The Section 4.5 data-replication (reuseBit) optimization. */
+    bool stashReplicationOpt = true;
+
+    // --- LLC (shared L2, NUCA) -----------------------------------------
+    unsigned llcBanks = 16;
+    unsigned llcBankBytes = 256 * 1024; //!< 4 MB total
+    unsigned llcAssoc = 16;
+    Cycles llcBankCycles = 23; //!< bank access; 29-61 total w/ network
+
+    // --- NoC -----------------------------------------------------------
+    Cycles routerCycles = 2;
+    Cycles linkCycles = 1;
+    unsigned nocFlitsPerCycle = 4; //!< link width (serialization only)
+
+    // --- Memory --------------------------------------------------------
+    Cycles dramCycles = 168; //!< 197-261 total including L2/NoC path
+
+    // --- GPU CU --------------------------------------------------------
+    unsigned warpSize = 32;
+    unsigned maxResidentTbsPerCu = 8;
+    unsigned maxWarpsPerCu = 48;
+
+    // --- CPU core ------------------------------------------------------
+    unsigned cpuOutstanding = 4; //!< max in-flight CPU memory ops
+
+    /** Table 2 configuration for the four microbenchmarks. */
+    static SystemConfig microbenchmarkDefault();
+
+    /** Table 2 configuration for the seven applications. */
+    static SystemConfig applicationDefault();
+
+    /** Total nodes on the mesh. */
+    unsigned numNodes() const { return meshWidth * meshHeight; }
+};
+
+} // namespace stashsim
+
+#endif // STASHSIM_CONFIG_SYSTEM_CONFIG_HH

@@ -1,0 +1,878 @@
+#include "core/stash.hh"
+
+#include <map>
+
+#include "sim/log.hh"
+
+namespace stashsim
+{
+
+Stash::Stash(EventQueue &eq, Fabric &fabric, PageTable &pt, CoreId owner,
+             NodeId node, const Params &p)
+    : eq(eq), fabric(fabric), owner(owner), node(node), params(p),
+      data(p.bytes / wordBytes, 0),
+      state(p.bytes / wordBytes, WordState::Invalid),
+      chunks(p.bytes / p.chunkBytes), map(p.mapEntries),
+      vpMap(pt, p.vpEntries)
+{
+    sim_assert(p.chunkBytes % lineBytes == 0 || lineBytes %
+               p.chunkBytes == 0);
+}
+
+namespace
+{
+
+/** Word index traced via STASHSIM_TRACE_WORD="core:wordIdx". */
+bool
+traceWord(CoreId core, std::uint32_t w)
+{
+    static const std::pair<unsigned long, unsigned long> t = []() {
+        const char *env = std::getenv("STASHSIM_TRACE_WORD");
+        if (!env)
+            return std::make_pair(~0ul, ~0ul);
+        unsigned long c = 0, wi = 0;
+        std::sscanf(env, "%lu:%lu", &c, &wi);
+        return std::make_pair(c, wi);
+    }();
+    return t.first == core && t.second == w;
+}
+
+} // namespace
+
+void
+Stash::setState(std::uint32_t w, WordState s, const char *why)
+{
+    if (traceWord(owner, w) && state[w] != s) {
+        inform("stash core ", owner, " word ", w, " ",
+               wordStateName(state[w]), " -> ", wordStateName(s),
+               " (", why, ")");
+    }
+    state[w] = s;
+}
+
+// ---------------------------------------------------------------------
+// Software interface: AddMap / ChgMap
+// ---------------------------------------------------------------------
+
+Stash::AddMapResult
+Stash::addMap(LocalAddr stash_base, const TileSpec &tile)
+{
+    ++_stats.addMaps;
+    if (!tile.wellFormed())
+        fatal("AddMap: malformed tile");
+    if (stash_base % params.chunkBytes != 0)
+        fatal("AddMap: stash base must be chunk-aligned");
+    if (stash_base + tile.mappedBytes() > params.bytes)
+        fatal("AddMap: mapping exceeds stash size");
+    if (tile.globalBase % wordBytes != 0 ||
+        tile.fieldSize % wordBytes != 0 ||
+        tile.objectSize % wordBytes != 0) {
+        fatal("AddMap: tile must be word-aligned");
+    }
+
+    Cycles cost = 1;
+
+    // Section 4.5: replication search happens before the new entry is
+    // allocated, so the new entry cannot match itself.
+    std::optional<MapIndex> match;
+    if (params.replicationOpt)
+        match = map.findMatch(tile);
+
+    const MapIndex idx = map.advanceTail();
+    StashMapEntry &e = map.entry(idx);
+
+    // Replacing a still-valid entry drains every chunk it still
+    // claims (Section 4.2, AddMap); if dirty data was outstanding the
+    // core blocks until the writebacks are issued.
+    if (e.valid) {
+        if (e.dirtyData > 0) {
+            ++_stats.mapReplacementStalls;
+            cost += 64; // the stall the scout pointer would hide
+        }
+        writebackMapEntry(idx);
+    }
+    // VP-map entries back-pointed at the replaced entry die with it.
+    vpMap.release(idx);
+
+    // Same-location reuse additionally requires the matched entry to
+    // still be the *current occupant* of the region: if another
+    // mapping lived there in between, the data present is not the
+    // tile's and must be reclaimed normally.
+    bool reuse_same_location =
+        match && map.entry(*match).stashBase == stash_base;
+    if (reuse_same_location) {
+        const unsigned c0 = chunkOf(stash_base / wordBytes);
+        const unsigned c1 =
+            chunkOf((stash_base + tile.mappedBytes() - 1) / wordBytes);
+        for (unsigned c = c0; c <= c1; ++c) {
+            if (chunks[c].allocIdx != *match) {
+                reuse_same_location = false;
+                break;
+            }
+        }
+    }
+
+    e.valid = true;
+    e.pinned = true;
+    e.stashBase = stash_base;
+    e.tile = tile;
+    e.dirtyData = 0;
+    e.reuseBit = match.has_value();
+    e.reuseIdx = match.value_or(0);
+
+    installVpEntries(tile, idx);
+
+    // The new entry now owns the region: remote-request resolution
+    // only trusts a (entry, word) pair when the word's chunk records
+    // that entry as its latest allocator (stale recycled entries can
+    // otherwise alias other data living at the same stash words).
+    {
+        const std::uint32_t first_word = stash_base / wordBytes;
+        const std::uint32_t last_word =
+            (stash_base + tile.mappedBytes() - 1) / wordBytes;
+        for (unsigned c = chunkOf(first_word); c <= chunkOf(last_word);
+             ++c) {
+            chunks[c].allocIdx = idx;
+        }
+    }
+
+    // Reclaim the stash range for the new mapping: trigger the lazy
+    // writebacks of whatever previously lived there, then invalidate.
+    // When the mapping is an exact replica living at the same stash
+    // location (cross-kernel reuse), the data stays put: no
+    // writebacks, no invalidation, no misses, and — because the
+    // directory's registration (core, unit) is unchanged — no new
+    // registration traffic.  The directory's stash-map *index* hint
+    // does go stale when the old entry is eventually recycled; remote
+    // requests then fall back to the VA search in resolveVa() (the
+    // model's equivalent of the paper's Section 4.5 re-registration
+    // rule, without its traffic).
+    if (!reuse_same_location) {
+        const std::uint32_t first_word = stash_base / wordBytes;
+        const std::uint32_t last_word =
+            (stash_base + tile.mappedBytes() - 1) / wordBytes;
+        for (unsigned c = chunkOf(first_word); c <= chunkOf(last_word);
+             ++c) {
+            if (chunks[c].dirty || chunks[c].writeback)
+                writebackChunk(c);
+        }
+        for (std::uint32_t w = first_word; w <= last_word; ++w) {
+            if (state[w] == WordState::Registered) {
+                panic("AddMap reclaim would drop a registered word "
+                      "without writeback: word=", w, " chunk=",
+                      chunkOf(w), " chunkMapIdx=",
+                      unsigned(chunks[chunkOf(w)].mapIdx),
+                      " chunkDirty=", chunks[chunkOf(w)].dirty,
+                      " chunkWb=", chunks[chunkOf(w)].writeback,
+                      " newIdx=", unsigned(idx));
+            }
+            setState(w, WordState::Invalid, "addmap-reclaim");
+        }
+    }
+
+    return AddMapResult{idx, cost};
+}
+
+Cycles
+Stash::chgMap(MapIndex idx, LocalAddr stash_base, const TileSpec &tile)
+{
+    ++_stats.chgMaps;
+    StashMapEntry &e = map.entry(idx);
+    if (!e.valid)
+        fatal("ChgMap: invalid map entry");
+
+    Cycles cost = 1;
+    const bool same_addresses =
+        e.stashBase == stash_base && e.tile == tile;
+
+    if (!same_addresses) {
+        // New global addresses: write back the old mapping's dirty
+        // data (if coherent) and invalidate the remapped locations.
+        writebackMapEntry(idx);
+        const std::uint32_t first_word = e.stashBase / wordBytes;
+        const std::uint32_t last_word =
+            (e.stashBase + e.tile.mappedBytes() - 1) / wordBytes;
+        for (std::uint32_t w = first_word; w <= last_word; ++w)
+            setState(w, WordState::Invalid, "chgmap-remap");
+        e.stashBase = stash_base;
+        e.tile = tile;
+        e.dirtyData = 0;
+        installVpEntries(tile, idx);
+        return cost;
+    }
+
+    // Same addresses, (possibly) different operation mode.
+    if (e.tile.isCoherent && !tile.isCoherent) {
+        // Coherent -> non-coherent: the old stores were globally
+        // visible, so push them out before going dark.
+        writebackMapEntry(idx);
+    } else if (!e.tile.isCoherent && tile.isCoherent) {
+        // Non-coherent -> coherent: register every dirty word so the
+        // directory knows this stash now holds the latest copy.
+        const std::uint32_t first_word = e.stashBase / wordBytes;
+        const std::uint32_t last_word =
+            (e.stashBase + e.tile.mappedBytes() - 1) / wordBytes;
+        std::map<PhysAddr, WordMask> reg_lines;
+        for (std::uint32_t w = first_word; w <= last_word; ++w) {
+            if (!chunks[chunkOf(w)].dirty &&
+                !chunks[chunkOf(w)].writeback) {
+                continue;
+            }
+            if (state[w] == WordState::Invalid)
+                continue;
+            setState(w, WordState::Registered, "chgmap-coherent");
+            const std::uint32_t off = w * wordBytes - e.stashBase;
+            const Addr ga = e.tile.globalAddrOf(off);
+            ++_stats.vpMapAccesses;
+            const PhysAddr pa = vpMap.translate(ga, idx);
+            reg_lines[lineBase(pa)] |= wordBit(lineWord(pa));
+        }
+        for (const auto &[line_pa, mask] : reg_lines) {
+            Msg reg;
+            reg.type = MsgType::RegReq;
+            reg.requester = owner;
+            reg.requesterUnit = Unit::Stash;
+            reg.linePA = line_pa;
+            reg.mask = mask;
+            reg.ownerIsStash = true;
+            reg.stashMapIdx = idx;
+            fabric.send(node, fabric.nodeOfLlc(line_pa), Unit::Llc,
+                        std::move(reg));
+        }
+    }
+    e.tile.isCoherent = tile.isCoherent;
+    return cost;
+}
+
+void
+Stash::installVpEntries(const TileSpec &tile, MapIndex idx)
+{
+    // Collect the pages the tile's rows touch.
+    for (std::uint32_t row = 0; row < tile.numStrides; ++row) {
+        const Addr row_base = tile.globalBase + Addr(row) *
+                              tile.strideSize;
+        const Addr row_end = row_base +
+                             Addr(tile.rowSize - 1) * tile.objectSize +
+                             tile.fieldSize;
+        for (Addr p = pageBase(row_base); p < row_end; p += pageBytes) {
+            // Refreshing an existing translation costs no space; only
+            // a genuinely new page can trigger entry retirement.
+            if (!vpMap.contains(p) && vpMap.full())
+                evictEntriesForVpSpace();
+            vpMap.install(p, idx);
+        }
+    }
+}
+
+void
+Stash::evictEntriesForVpSpace()
+{
+    // Section 4.1.4: when the VP-map has no room, retire stash-map
+    // entries -- oldest first, i.e., in circular order from the tail.
+    // Entries of still-resident thread blocks are pinned and skipped;
+    // if the live mappings alone exceed the VP-map, the structure
+    // overflows (counted and warned, once) rather than corrupting a
+    // live translation.
+    for (unsigned i = 0; i < map.capacity() && vpMap.full(); ++i) {
+        const MapIndex j =
+            MapIndex((map.tailIndex() + i) % map.capacity());
+        StashMapEntry &e = map.entry(j);
+        if (!e.valid || e.pinned)
+            continue;
+        writebackMapEntry(j);
+        e.valid = false;
+        vpMap.release(j);
+    }
+    if (vpMap.full()) {
+        ++_stats.vpMapOverflows;
+        if (_stats.vpMapOverflows == 1) {
+            warn("VP-map capacity (", vpMap.capacity(), ") exceeded "
+                 "by live mappings; allowing overflow");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Access path
+// ---------------------------------------------------------------------
+
+void
+Stash::access(LocalAddr line_addr, WordMask mask, bool is_store,
+              const LineData *store_data, MapIndex map_idx,
+              AccessDone done)
+{
+    sim_assert(line_addr % lineBytes == 0);
+    sim_assert(mask != 0);
+    sim_assert(line_addr + lineBytes <= params.bytes);
+    const std::uint32_t word0 = line_addr / wordBytes;
+    const Tick hit_latency = params.hitCycles * params.clockPeriod;
+
+    // ----- Temporary / global-unmapped modes: plain scratchpad -----
+    if (map_idx == unmappedIndex) {
+        if (is_store) {
+            sim_assert(store_data);
+            for (unsigned w = 0; w < wordsPerLine; ++w) {
+                if (!(mask & wordBit(w)))
+                    continue;
+                data[word0 + w] = store_data->w[w];
+                setState(word0 + w, WordState::Valid, "unmapped-store");
+            }
+            ++_stats.storeHits;
+            _stats.hitWords += popcount(mask);
+        } else {
+            ++_stats.loadHits;
+            _stats.hitWords += popcount(mask);
+        }
+        LineData snap = snapshotLine(line_addr);
+        eq.scheduleIn(hit_latency,
+                      [done = std::move(done), snap]() { done(snap); });
+        return;
+    }
+
+    StashMapEntry &e = map.entry(map_idx);
+    sim_assert(e.valid);
+
+    // ----- Stores -----
+    if (is_store) {
+        sim_assert(store_data);
+        WordMask need_reg = 0;
+        for (unsigned w = 0; w < wordsPerLine; ++w) {
+            if (!(mask & wordBit(w)))
+                continue;
+            data[word0 + w] = store_data->w[w];
+            if (e.tile.isCoherent) {
+                if (state[word0 + w] != WordState::Registered) {
+                    setState(word0 + w, WordState::Registered,
+                             "store");
+                    need_reg |= wordBit(w);
+                }
+            } else {
+                setState(word0 + w, WordState::Valid,
+                         "noncoherent-store");
+            }
+            markDirty(word0 + w, map_idx);
+        }
+
+        _stats.hitWords += popcount(WordMask(mask & ~need_reg));
+        _stats.missWords += popcount(need_reg);
+        if (need_reg) {
+            ++_stats.storeMisses;
+            ++_stats.translations;
+            // The store completes locally; its registration request
+            // must enter the memory system *now*, in program order
+            // with any later writeback of the same words (a lazy
+            // writeback draining this chunk after the block retires
+            // must reach the directory after the registration, or the
+            // directory would end up registering data the stash no
+            // longer holds).  The translation latency is off the
+            // store's critical path.
+            std::map<PhysAddr, WordMask> reg_lines;
+            for (unsigned w = 0; w < wordsPerLine; ++w) {
+                if (!(need_reg & wordBit(w)))
+                    continue;
+                const std::uint32_t off =
+                    (word0 + w) * wordBytes - e.stashBase;
+                const Addr ga = e.tile.globalAddrOf(off);
+                ++_stats.vpMapAccesses;
+                const PhysAddr pa = vpMap.translate(ga, map_idx);
+                reg_lines[lineBase(pa)] |= wordBit(lineWord(pa));
+            }
+            for (const auto &[line_pa, m] : reg_lines) {
+                if (tracePA(line_pa)) {
+                    inform("stash core ", owner, " store RegReq "
+                           "pa=0x", std::hex, line_pa, std::dec,
+                           " mask=0x", std::hex, m, std::dec,
+                           " idx=", unsigned(map_idx));
+                }
+                Msg reg;
+                reg.type = MsgType::RegReq;
+                reg.requester = owner;
+                reg.requesterUnit = Unit::Stash;
+                reg.linePA = line_pa;
+                reg.mask = m;
+                reg.ownerIsStash = true;
+                reg.stashMapIdx = map_idx;
+                fabric.send(node, fabric.nodeOfLlc(line_pa),
+                            Unit::Llc, std::move(reg));
+            }
+        } else {
+            ++_stats.storeHits;
+        }
+        LineData snap = snapshotLine(line_addr);
+        eq.scheduleIn(hit_latency,
+                      [done = std::move(done), snap]() { done(snap); });
+        return;
+    }
+
+    // ----- Loads -----
+    WordMask missing = 0;
+    for (unsigned w = 0; w < wordsPerLine; ++w) {
+        if ((mask & wordBit(w)) &&
+            state[word0 + w] == WordState::Invalid) {
+            missing |= wordBit(w);
+        }
+    }
+
+    // Section 4.5: serve misses from a replicated older mapping.
+    if (missing && e.reuseBit) {
+        const StashMapEntry &old = map.entry(e.reuseIdx);
+        if (old.valid && old.tile == e.tile) {
+            for (unsigned w = 0; w < wordsPerLine; ++w) {
+                if (!(missing & wordBit(w)))
+                    continue;
+                const std::uint32_t off =
+                    (word0 + w) * wordBytes - e.stashBase;
+                const std::uint32_t old_word =
+                    (old.stashBase + off) / wordBytes;
+                if (chunks[chunkOf(old_word)].allocIdx != e.reuseIdx)
+                    continue; // the replica's region was reused
+                if (state[old_word] != WordState::Invalid) {
+                    data[word0 + w] = data[old_word];
+                    setState(word0 + w, WordState::Valid,
+                             "replication-copy");
+                    missing &= WordMask(~wordBit(w));
+                    ++_stats.replicationHits;
+                }
+            }
+        }
+    }
+
+    if (!missing) {
+        ++_stats.loadHits;
+        _stats.hitWords += popcount(mask);
+        LineData snap = snapshotLine(line_addr);
+        eq.scheduleIn(hit_latency,
+                      [done = std::move(done), snap]() { done(snap); });
+        return;
+    }
+
+    // Translate the missing words and group them by physical line.
+    std::map<PhysAddr, WordMask> req_lines;
+    std::vector<std::pair<std::uint32_t, PhysAddr>> word_pas;
+    for (unsigned w = 0; w < wordsPerLine; ++w) {
+        if (!(missing & wordBit(w)))
+            continue;
+        const std::uint32_t off = (word0 + w) * wordBytes - e.stashBase;
+        const Addr ga = e.tile.globalAddrOf(off);
+        const PhysAddr pa = vpMap.translate(ga, map_idx);
+        req_lines[lineBase(pa)] |= wordBit(lineWord(pa));
+        word_pas.emplace_back(word0 + w, pa);
+    }
+
+    // Miss-slot (MSHR) limit: count the new lines this access needs.
+    unsigned new_lines = 0;
+    for (const auto &[line_pa, m] : req_lines) {
+        if (pendingFills.find(line_pa) == pendingFills.end())
+            ++new_lines;
+    }
+    if (pendingFills.size() + new_lines > params.mshrs &&
+        new_lines > 0) {
+        deferred.push_back(
+            DeferredAccess{line_addr, mask, map_idx, std::move(done)});
+        return;
+    }
+
+    ++_stats.loadMisses;
+    ++_stats.translations;
+    _stats.hitWords += popcount(WordMask(mask & ~missing));
+    _stats.missWords += popcount(missing);
+    _stats.vpMapAccesses += word_pas.size();
+
+    auto waiter = std::make_shared<Waiter>();
+    waiter->remaining = popcount(missing);
+    waiter->lineAddr = line_addr;
+    waiter->done = std::move(done);
+
+    // Merge with in-flight fills (MSHR behaviour): words another
+    // access already requested are waited on, not fetched twice.
+    std::map<PhysAddr, WordMask> to_request;
+    for (const auto &[stash_word, pa] : word_pas) {
+        const PhysAddr line_pa = lineBase(pa);
+        WordMask inflight = 0;
+        auto it = pendingFills.find(line_pa);
+        if (it != pendingFills.end()) {
+            for (const PendingWord &pw : it->second)
+                inflight |= wordBit(pw.wordInLine);
+        }
+        if (!(inflight & wordBit(lineWord(pa))))
+            to_request[line_pa] |= wordBit(lineWord(pa));
+        pendingFills[line_pa].push_back(
+            PendingWord{stash_word, lineWord(pa), waiter});
+    }
+
+    const Tick xlat = params.translationCycles * params.clockPeriod;
+    eq.scheduleIn(xlat, [this, to_request]() {
+        for (const auto &[line_pa, m] : to_request) {
+            Msg req;
+            req.type = MsgType::ReadReq;
+            req.requester = owner;
+            req.requesterUnit = Unit::Stash;
+            req.linePA = line_pa;
+            req.mask = m;
+            req.wordsOnly = true; // compact: only the useful words
+            fabric.send(node, fabric.nodeOfLlc(line_pa), Unit::Llc,
+                        std::move(req));
+        }
+    });
+}
+
+void
+Stash::markDirty(std::uint32_t word, MapIndex map_idx)
+{
+    Chunk &ch = chunks[chunkOf(word)];
+    if (!ch.dirty && !ch.writeback) {
+        // Clean chunk: claim it for this mapping and count it in the
+        // entry's #DirtyData.
+        ch.dirty = true;
+        ch.mapIdx = map_idx;
+        ++map.entry(map_idx).dirtyData;
+        return;
+    }
+    ch.dirty = true;
+    if (ch.mapIdx != map_idx) {
+        // The chunk migrates to the newer mapping (same-location
+        // reuse across kernels): move the #DirtyData accounting.
+        StashMapEntry &old = map.entry(ch.mapIdx);
+        if (old.dirtyData > 0)
+            --old.dirtyData;
+        ++map.entry(map_idx).dirtyData;
+        ch.mapIdx = map_idx;
+    }
+}
+
+void
+Stash::replayDeferred()
+{
+    if (deferred.empty())
+        return;
+    std::vector<DeferredAccess> pending;
+    pending.swap(deferred);
+    for (auto &d : pending) {
+        access(d.lineAddr, d.mask, false, nullptr, d.mapIdx,
+               std::move(d.done));
+    }
+}
+
+void
+Stash::finishWaiter(const std::shared_ptr<Waiter> &w)
+{
+    LineData snap = snapshotLine(w->lineAddr);
+    AccessDone done = std::move(w->done);
+    eq.scheduleIn(params.hitCycles * params.clockPeriod,
+                  [done = std::move(done), snap]() { done(snap); });
+}
+
+LineData
+Stash::snapshotLine(LocalAddr line_addr) const
+{
+    LineData snap;
+    const std::uint32_t word0 = line_addr / wordBytes;
+    for (unsigned w = 0; w < wordsPerLine; ++w)
+        snap.w[w] = data[word0 + w];
+    return snap;
+}
+
+// ---------------------------------------------------------------------
+// Lazy writebacks
+// ---------------------------------------------------------------------
+
+void
+Stash::writebackChunk(unsigned chunk)
+{
+    Chunk &ch = chunks[chunk];
+    if (!ch.dirty && !ch.writeback)
+        return;
+    StashMapEntry &e = map.entry(ch.mapIdx);
+
+    if (e.valid && e.tile.isCoherent) {
+        // Write back the chunk's registered words, grouped per global
+        // line; per-word coherence state identifies the dirty words
+        // (Section 4.2).
+        const std::uint32_t w_begin = chunk * wordsPerChunk();
+        const std::uint32_t w_end = w_begin + wordsPerChunk();
+        const std::uint32_t map_begin = e.stashBase / wordBytes;
+        const std::uint32_t map_end =
+            (e.stashBase + e.tile.mappedBytes()) / wordBytes;
+        std::map<PhysAddr, std::pair<WordMask, LineData>> wb_lines;
+        unsigned words = 0;
+        for (std::uint32_t w = std::max(w_begin, map_begin);
+             w < std::min(w_end, map_end); ++w) {
+            if (state[w] != WordState::Registered)
+                continue;
+            const std::uint32_t off = w * wordBytes - e.stashBase;
+            const Addr ga = e.tile.globalAddrOf(off);
+            ++_stats.vpMapAccesses;
+            const PhysAddr pa = vpMap.translate(ga, ch.mapIdx);
+            auto &[m, d] = wb_lines[lineBase(pa)];
+            m |= wordBit(lineWord(pa));
+            d.w[lineWord(pa)] = data[w];
+            setState(w, WordState::Valid, "chunk-writeback");
+            ++words;
+        }
+        if (words) {
+            ++_stats.lazyWritebackChunks;
+            _stats.wordsWrittenBack += words;
+            ++_stats.translations;
+        }
+        for (auto &[line_pa, md] : wb_lines) {
+            if (tracePA(line_pa)) {
+                inform("stash core ", owner, " WbReq pa=0x", std::hex,
+                       line_pa, std::dec, " mask=0x", std::hex,
+                       md.first, std::dec, " chunkIdx=",
+                       unsigned(ch.mapIdx));
+            }
+            Msg wb;
+            wb.type = MsgType::WbReq;
+            wb.requester = owner;
+            wb.requesterUnit = Unit::Stash;
+            wb.linePA = line_pa;
+            wb.mask = md.first;
+            wb.data = md.second;
+            fabric.send(node, fabric.nodeOfLlc(line_pa), Unit::Llc,
+                        std::move(wb));
+        }
+    }
+
+    ch.dirty = false;
+    ch.writeback = false;
+    if (e.dirtyData > 0) {
+        --e.dirtyData;
+        if (e.dirtyData == 0 && !e.valid) {
+            // Fully drained, already replaced: nothing more to do.
+        }
+    }
+}
+
+void
+Stash::writebackMapEntry(MapIndex idx)
+{
+    for (unsigned c = 0; c < numChunks(); ++c) {
+        if (chunks[c].mapIdx == idx &&
+            (chunks[c].dirty || chunks[c].writeback)) {
+            writebackChunk(c);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kernel lifecycle
+// ---------------------------------------------------------------------
+
+void
+Stash::endThreadBlock(LocalAddr base, std::uint32_t bytes)
+{
+    if (bytes == 0)
+        return;
+    const unsigned first = base / params.chunkBytes;
+    const unsigned last = (base + bytes - 1) / params.chunkBytes;
+    for (unsigned c = first; c <= last && c < numChunks(); ++c) {
+        if (chunks[c].dirty) {
+            chunks[c].dirty = false;
+            chunks[c].writeback = true;
+        }
+    }
+}
+
+void
+Stash::releaseMap(MapIndex idx)
+{
+    map.entry(idx).pinned = false;
+}
+
+void
+Stash::endKernel()
+{
+    for (std::uint32_t w = 0; w < numWords(); ++w) {
+        if (state[w] == WordState::Valid) {
+            setState(w, WordState::Invalid, "self-invalidate");
+            ++_stats.selfInvalidations;
+        }
+    }
+}
+
+void
+Stash::flushAll()
+{
+    for (unsigned c = 0; c < numChunks(); ++c)
+        writebackChunk(c);
+}
+
+std::vector<std::uint32_t>
+Stash::resolveVa(Addr va, MapIndex hint) const
+{
+    std::vector<std::uint32_t> words;
+    auto try_entry = [&](MapIndex i) {
+        const StashMapEntry &e = map.entry(i);
+        if (!e.valid)
+            return;
+        std::uint32_t off;
+        if (!e.tile.reverse(va, &off))
+            return;
+        const std::uint32_t w = (e.stashBase + off) / wordBytes;
+        // Only the region's latest allocator speaks for this word.
+        if (chunks[chunkOf(w)].allocIdx != i)
+            return;
+        for (std::uint32_t seen : words) {
+            if (seen == w)
+                return;
+        }
+        words.push_back(w);
+    };
+    try_entry(hint);
+    if (!words.empty() && state[words.front()] != WordState::Invalid)
+        return words; // fast path: the directory's hint still holds
+    for (unsigned i = 0; i < map.capacity(); ++i)
+        try_entry(MapIndex(i));
+    return words;
+}
+
+// ---------------------------------------------------------------------
+// Remote requests
+// ---------------------------------------------------------------------
+
+void
+Stash::receive(const Msg &msg)
+{
+    switch (msg.type) {
+      case MsgType::ReadResp: {
+        auto it = pendingFills.find(msg.linePA);
+        if (it == pendingFills.end())
+            return;
+        auto &vec = it->second;
+        for (auto pw = vec.begin(); pw != vec.end();) {
+            if (msg.mask & wordBit(pw->wordInLine)) {
+                if (state[pw->stashWord] == WordState::Invalid) {
+                    data[pw->stashWord] = msg.data.w[pw->wordInLine];
+                    setState(pw->stashWord, WordState::Valid, "fill");
+                }
+                if (--pw->waiter->remaining == 0)
+                    finishWaiter(pw->waiter);
+                pw = vec.erase(pw);
+            } else {
+                ++pw;
+            }
+        }
+        if (vec.empty()) {
+            pendingFills.erase(it);
+            replayDeferred();
+        }
+        return;
+      }
+      case MsgType::RegAck:
+      case MsgType::WbAck:
+        return;
+      case MsgType::InvReq: {
+        if (tracePA(msg.linePA)) {
+            inform("stash core ", owner, " InvReq pa=0x", std::hex,
+                   msg.linePA, std::dec, " mask=0x", std::hex, msg.mask,
+                   std::dec, " idx=", unsigned(msg.stashMapIdx));
+        }
+        // Locate the local copies through the RTLB plus the map
+        // entries; registration has moved elsewhere, so every copy
+        // of the datum is stale.
+        for (unsigned w = 0; w < wordsPerLine; ++w) {
+            if (!(msg.mask & wordBit(w)))
+                continue;
+            Addr va;
+            ++_stats.vpMapAccesses;
+            if (!vpMap.reverse(msg.linePA + w * wordBytes, &va))
+                continue;
+            for (std::uint32_t sw : resolveVa(va, msg.stashMapIdx))
+                setState(sw, WordState::Invalid, "invreq");
+        }
+        return;
+      }
+      case MsgType::FwdReadReq: {
+        WordMask served = 0;
+        LineData d;
+        WordMask retry = 0;
+        for (unsigned w = 0; w < wordsPerLine; ++w) {
+            if (!(msg.mask & wordBit(w)))
+                continue;
+            Addr va;
+            ++_stats.vpMapAccesses;
+            bool found = false;
+            if (vpMap.reverse(msg.linePA + w * wordBytes, &va)) {
+                for (std::uint32_t sw :
+                     resolveVa(va, msg.stashMapIdx)) {
+                    if (state[sw] != WordState::Invalid) {
+                        d.w[w] = data[sw];
+                        served |= wordBit(w);
+                        found = true;
+                        break;
+                    }
+                }
+            }
+            if (!found)
+                retry |= wordBit(w);
+        }
+        if (served) {
+            ++_stats.remoteHits;
+            Msg resp;
+            resp.type = MsgType::ReadResp;
+            resp.requester = msg.requester;
+            resp.requesterUnit = msg.requesterUnit;
+            resp.linePA = msg.linePA;
+            resp.mask = served;
+            resp.data = d;
+            fabric.sendToRequester(node, resp);
+        }
+        if (retry) {
+            if (msg.retries > 100) {
+                Addr va = 0;
+                const bool rtlb_ok = vpMap.reverse(msg.linePA, &va);
+                panic("stash: unresolvable forwarded request "
+                      "(stale registration at the directory?) core=",
+                      owner, " mapIdx=", unsigned(msg.stashMapIdx),
+                      " rtlbHit=", rtlb_ok, " candidates=",
+                      rtlb_ok ? resolveVa(va, msg.stashMapIdx).size()
+                              : 0,
+                      " linePA=0x", std::hex, msg.linePA);
+            }
+            Msg r;
+            r.type = MsgType::FwdRetry;
+            r.requester = msg.requester;
+            r.requesterUnit = msg.requesterUnit;
+            r.linePA = msg.linePA;
+            r.mask = retry;
+            r.wordsOnly = true;
+            r.retries = std::uint8_t(msg.retries + 1);
+            fabric.send(node, fabric.nodeOfLlc(msg.linePA), Unit::Llc,
+                        std::move(r));
+        }
+        return;
+      }
+      default:
+        panic("stash received unexpected ", msgTypeName(msg.type));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Probes
+// ---------------------------------------------------------------------
+
+WordState
+Stash::probeWord(LocalAddr byte_addr) const
+{
+    return state.at(byte_addr / wordBytes);
+}
+
+std::uint32_t
+Stash::peek(LocalAddr byte_addr) const
+{
+    return data.at(byte_addr / wordBytes);
+}
+
+bool
+Stash::chunkWriteback(unsigned chunk) const
+{
+    return chunks.at(chunk).writeback;
+}
+
+bool
+Stash::chunkDirty(unsigned chunk) const
+{
+    return chunks.at(chunk).dirty;
+}
+
+} // namespace stashsim

@@ -1,0 +1,271 @@
+#include "driver/system.hh"
+
+#include "sim/log.hh"
+
+namespace stashsim
+{
+
+namespace
+{
+
+MeshParams
+meshParamsOf(const SystemConfig &cfg)
+{
+    MeshParams mp;
+    mp.width = cfg.meshWidth;
+    mp.height = cfg.meshHeight;
+    mp.routerCycles = cfg.routerCycles;
+    mp.linkCycles = cfg.linkCycles;
+    mp.flitsPerCycle = cfg.nocFlitsPerCycle;
+    return mp;
+}
+
+} // namespace
+
+System::System(const SystemConfig &cfg, const EnergyParams &energy)
+    : cfg(cfg), energyModel(energy), mesh(eq, meshParamsOf(cfg)),
+      fabric(mesh)
+{
+    if (cfg.numGpuCus + cfg.numCpuCores > cfg.numNodes())
+        fatal("more cores than mesh nodes");
+    if (cfg.llcBanks != cfg.numNodes())
+        fatal("this system places one LLC bank per mesh node");
+
+    // LLC banks: one per node.
+    LlcBank::Params lp;
+    lp.bankBytes = cfg.llcBankBytes;
+    lp.assoc = cfg.llcAssoc;
+    lp.accessCycles = cfg.llcBankCycles;
+    lp.dramCycles = cfg.dramCycles;
+    for (NodeId n = 0; n < cfg.numNodes(); ++n) {
+        llcBanks.push_back(
+            std::make_unique<LlcBank>(eq, fabric, mem, n, lp));
+        fabric.registerObject(n, Unit::Llc, llcBanks.back().get());
+    }
+
+    // GPU CUs at nodes [0, numGpuCus).
+    L1Cache::Params gl1;
+    gl1.bytes = cfg.l1Bytes;
+    gl1.assoc = cfg.l1Assoc;
+    gl1.mshrs = cfg.l1Mshrs;
+    gl1.hitCycles = cfg.l1HitCycles;
+    gl1.clockPeriod = gpuClockPeriod;
+
+    for (unsigned i = 0; i < cfg.numGpuCus; ++i) {
+        const NodeId node = NodeId(i);
+        const CoreId core = CoreId(i);
+        GpuNode g;
+        g.tlb = std::make_unique<Tlb>(pageTable, cfg.vpMapEntries);
+        g.l1 = std::make_unique<L1Cache>(eq, fabric, *g.tlb, core,
+                                         node, gl1);
+        fabric.registerObject(node, Unit::L1, g.l1.get());
+        fabric.registerCore(core, node);
+
+        if (usesScratchpad(cfg.memOrg)) {
+            g.spad = std::make_unique<Scratchpad>(cfg.localBytes);
+            if (cfg.memOrg == MemOrg::ScratchGD) {
+                g.dma = std::make_unique<DmaEngine>(
+                    eq, fabric, *g.tlb, *g.spad, core, node);
+                fabric.registerObject(node, Unit::Dma, g.dma.get());
+            }
+        } else if (usesStash(cfg.memOrg)) {
+            Stash::Params sp;
+            sp.bytes = cfg.localBytes;
+            sp.chunkBytes = cfg.stashChunkBytes;
+            sp.mapEntries = cfg.stashMapEntries;
+            sp.vpEntries = cfg.vpMapEntries;
+            sp.translationCycles = cfg.stashTranslationCycles;
+            sp.hitCycles = cfg.localHitCycles;
+            sp.replicationOpt = cfg.stashReplicationOpt;
+            g.stash = std::make_unique<Stash>(eq, fabric, pageTable,
+                                              core, node, sp);
+            fabric.registerObject(node, Unit::Stash, g.stash.get());
+        }
+
+        g.cu = std::make_unique<ComputeUnit>(eq, this->cfg, core,
+                                             g.l1.get(), g.spad.get(),
+                                             g.stash.get(),
+                                             g.dma.get());
+        gpus.push_back(std::move(g));
+    }
+
+    // CPU cores at nodes [numGpuCus, numGpuCus + numCpuCores).
+    L1Cache::Params cl1 = gl1;
+    cl1.clockPeriod = cpuClockPeriod;
+    for (unsigned i = 0; i < cfg.numCpuCores; ++i) {
+        const NodeId node = NodeId(cfg.numGpuCus + i);
+        const CoreId core = CoreId(cfg.numGpuCus + i);
+        CpuNode c;
+        c.tlb = std::make_unique<Tlb>(pageTable, cfg.vpMapEntries);
+        c.l1 = std::make_unique<L1Cache>(eq, fabric, *c.tlb, core,
+                                         node, cl1);
+        fabric.registerObject(node, Unit::L1, c.l1.get());
+        fabric.registerCore(core, node);
+        c.core = std::make_unique<CpuCore>(eq, *c.l1, core,
+                                           cfg.cpuOutstanding);
+        cpus.push_back(std::move(c));
+    }
+}
+
+System::~System() = default;
+
+void
+System::drain()
+{
+    // Phases only complete when no component generates further work,
+    // so running the event queue dry is a full drain.
+    eq.run();
+}
+
+void
+System::runGpuPhase(Phase &phase)
+{
+    // Split the grid round-robin across the CUs.
+    std::vector<Kernel> per_cu(gpus.size());
+    for (auto &k : per_cu)
+        k.name = phase.kernel.name;
+    for (std::size_t b = 0; b < phase.kernel.blocks.size(); ++b) {
+        per_cu[b % gpus.size()].blocks.push_back(
+            std::move(phase.kernel.blocks[b]));
+    }
+
+    unsigned pending = 0;
+    for (std::size_t i = 0; i < gpus.size(); ++i) {
+        if (per_cu[i].blocks.empty())
+            continue;
+        ++pending;
+        gpus[i].cu->runKernel(std::move(per_cu[i]),
+                              [&pending]() { --pending; });
+    }
+    drain();
+    sim_assert(pending == 0);
+}
+
+void
+System::runCpuPhase(Phase &phase, std::vector<std::string> *errors)
+{
+    // Synchronization point: the CPUs may now read what the GPU
+    // produced, so their L1s self-invalidate stale Valid words.
+    for (auto &c : cpus)
+        c.l1->selfInvalidate();
+
+    unsigned pending = 0;
+    for (std::size_t i = 0; i < phase.cpuWork.size(); ++i) {
+        if (phase.cpuWork[i].empty())
+            continue;
+        if (i >= cpus.size())
+            fatal("workload uses more CPU cores than configured");
+        ++pending;
+        cpus[i].core->run(std::move(phase.cpuWork[i]),
+                          [&pending]() { --pending; }, errors);
+    }
+    drain();
+    sim_assert(pending == 0);
+}
+
+RunResult
+System::run(Workload wl)
+{
+    RunResult r;
+
+    FunctionalMem fm = functionalMem();
+    if (wl.init)
+        wl.init(fm);
+
+    SystemStats baseline;
+    for (std::size_t p = 0; p < wl.phases.size(); ++p) {
+        Phase &phase = wl.phases[p];
+        switch (phase.kind) {
+          case Phase::Kind::Gpu:
+            runGpuPhase(phase);
+            break;
+          case Phase::Kind::Cpu:
+            runCpuPhase(phase, &r.errors);
+            break;
+        }
+        if (p + 1 == wl.warmupPhases)
+            baseline = statsSnapshot();
+    }
+
+    // Snapshot the statistics before the validation flush: the flush
+    // is not part of the measured execution (lazily-written stash
+    // data would otherwise be charged writebacks the paper's lazy
+    // policy precisely avoids).
+    r.stats = statsSnapshot();
+    r.stats.sub(baseline);
+    r.energy = energyModel.compute(r.stats);
+    r.gpuCycles = r.stats.gpuCycles;
+
+    // Flush every private memory so the functional image is complete,
+    // then validate.
+    for (auto &g : gpus) {
+        g.l1->flushAll();
+        if (g.stash)
+            g.stash->flushAll();
+    }
+    for (auto &c : cpus)
+        c.l1->flushAll();
+    drain();
+    for (auto &b : llcBanks)
+        b->flushDirtyToMemory();
+
+    if (wl.validate) {
+        if (!wl.validate(fm, r.errors))
+            r.validated = false;
+    }
+    if (!r.errors.empty())
+        r.validated = false;
+    return r;
+}
+
+SystemStats
+System::statsSnapshot() const
+{
+    SystemStats s;
+    for (const auto &g : gpus) {
+        s.gpu.add(g.cu->stats());
+        s.gpuL1.add(g.l1->stats());
+        if (g.spad)
+            s.scratch.add(g.spad->stats());
+        if (g.stash)
+            s.stash.add(g.stash->stats());
+        if (g.dma)
+            s.dma.add(g.dma->stats());
+    }
+    for (const auto &c : cpus) {
+        s.cpu.add(c.core->stats());
+        s.cpuL1.add(c.l1->stats());
+    }
+    for (const auto &b : llcBanks)
+        s.llc.add(b->stats());
+    s.noc.add(mesh.stats());
+    s.gpuCycles = eq.curTick() / gpuClockPeriod;
+    s.numGpuCus = gpus.size();
+    return s;
+}
+
+Stash *
+System::stashOf(unsigned cu)
+{
+    return cu < gpus.size() ? gpus[cu].stash.get() : nullptr;
+}
+
+L1Cache *
+System::gpuL1Of(unsigned cu)
+{
+    return cu < gpus.size() ? gpus[cu].l1.get() : nullptr;
+}
+
+L1Cache *
+System::cpuL1Of(unsigned cpu)
+{
+    return cpu < cpus.size() ? cpus[cpu].l1.get() : nullptr;
+}
+
+LlcBank *
+System::llcBankOf(PhysAddr line_pa)
+{
+    return llcBanks[fabric.nodeOfLlc(line_pa)].get();
+}
+
+} // namespace stashsim

@@ -1,0 +1,47 @@
+#include "energy/energy_model.hh"
+
+namespace stashsim
+{
+
+EnergyBreakdown
+EnergyModel::compute(const SystemStats &s) const
+{
+    EnergyBreakdown e;
+
+    // GPU core+: instruction pipeline energy.  The paper's "GPU
+    // core+" bucket covers icache, RF, SFU/FPU, scheduler, pipeline.
+    e.gpuCore = double(s.gpu.instructions) * params.gpuCoreInstr +
+                double(s.gpuCycles) * double(s.numGpuCus) *
+                    params.gpuCorePerCuCycle;
+
+    // GPU L1 (the paper excludes CPU core/L1 energy): Table 3
+    // energies are per bank (word) access — a coalesced warp access
+    // touching N words costs N bank accesses — plus the TLB lookup
+    // every physically-tagged access pays.
+    e.l1 = double(s.gpuL1.hitWords) * params.l1Hit +
+           double(s.gpuL1.missWords) * params.l1Miss +
+           double(s.gpuL1.tlbAccesses) * params.tlbAccess;
+
+    // Scratch/stash: scratchpad accesses (including DMA fills and
+    // drains), stash hits/misses, remote hits served by the stash
+    // (a storage read plus a VP-map CAM lookup), lazy-writeback
+    // storage reads, and VP-map lookups on the miss paths.
+    e.local = double(s.scratch.accesses()) * params.scratchpadAccess +
+              double(s.stash.hitWords) * params.stashHit +
+              double(s.stash.missWords) * params.stashMiss +
+              double(s.stash.remoteHits) *
+                  (params.stashHit + params.tlbAccess) +
+              double(s.stash.wordsWrittenBack) * params.stashHit +
+              double(s.stash.vpMapAccesses) * params.tlbAccess;
+
+    // L2: every bank access (reads, registrations, writeback
+    // absorptions) plus line fills from memory.
+    e.l2 = double(s.llc.accesses + s.llc.fills) * params.l2Access;
+
+    // NoC: flit crossings.
+    e.noc = double(s.noc.totalFlitHops()) * params.nocFlitHop;
+
+    return e;
+}
+
+} // namespace stashsim

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The kernel/warp-operation model the GPU CU executes.
+ *
+ * Workloads (src/workloads) compile each benchmark into streams of
+ * warp operations — the same abstraction level GPGPU-Sim's timing
+ * model consumes after functional execution.  A warp op is one
+ * dynamic warp instruction: a block of compute cycles, a coalesced
+ * memory access with up to 32 per-lane addresses, or a barrier.
+ *
+ * Functional dataflow is carried by one accumulator register per
+ * lane: loads set it, Compute ops transform it (acc += accDelta),
+ * stores can write it back.  That is enough to verify real end-to-end
+ * data movement (e.g., the CPU observing `f(x)` for every element the
+ * GPU updated through the stash) without a full ISA interpreter,
+ * while instruction counts, addresses, and access types — the things
+ * the paper's results are made of — are exact.
+ */
+
+#ifndef STASHSIM_GPU_KERNEL_HH
+#define STASHSIM_GPU_KERNEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/stash_map.hh"
+#include "mem/tile.hh"
+#include "sim/types.hh"
+
+namespace stashsim
+{
+
+/** Kinds of warp instructions. */
+enum class OpKind : std::uint8_t
+{
+    Compute,  //!< ALU work: occupies the warp for `cycles`
+    GlobalLd, //!< coalesced load from the global AS (via L1)
+    GlobalSt, //!< coalesced store to the global AS (via L1)
+    LocalLd,  //!< scratchpad load (direct, 1 cycle)
+    LocalSt,  //!< scratchpad store
+    StashLd,  //!< stash load (direct; may miss and fetch implicitly)
+    StashSt,  //!< stash store (registers words lazily)
+    Barrier,  //!< thread-block barrier
+    Remap,    //!< ChgMap: point a map slot at a new tile (stash)
+    DmaXfer,  //!< mid-kernel DMA transfer (ScratchGD re-staging)
+};
+
+/** Printable op-kind name. */
+const char *opKindName(OpKind k);
+
+/**
+ * One dynamic warp instruction.
+ */
+struct WarpOp
+{
+    OpKind kind = OpKind::Compute;
+    /** Compute: busy cycles. */
+    std::uint16_t cycles = 1;
+    /** Compute: per-lane accumulator delta (models compute(x)). */
+    std::int32_t accDelta = 0;
+    /** Stash ops: map-index-table slot (0..3) of the thread block. */
+    std::uint8_t mapSlot = 0;
+    /** Stores: write the lane accumulator instead of `value`. */
+    bool storeAcc = false;
+    /** Stores: immediate value when !storeAcc. */
+    std::uint32_t value = 0;
+    /**
+     * Memory ops: per-lane addresses.  Global ops use virtual
+     * addresses; Local/Stash ops use byte offsets within the thread
+     * block's local allocation.  Size <= warp size; lane i uses
+     * addrs[i].
+     */
+    std::vector<Addr> addrs;
+    /** Remap/DmaXfer: the new tile and its local byte offset. */
+    TileSpec tile;
+    LocalAddr localOffset = 0;
+    /** DmaXfer: scatter (store) instead of gather (load). */
+    bool dmaStore = false;
+};
+
+/** Factory helpers for concise workload code. @{ */
+WarpOp computeOp(std::uint16_t cycles, std::int32_t acc_delta = 0);
+WarpOp memOp(OpKind kind, std::vector<Addr> addrs,
+             std::uint8_t map_slot = 0);
+WarpOp storeValueOp(OpKind kind, std::vector<Addr> addrs,
+                    std::uint32_t value, std::uint8_t map_slot = 0);
+WarpOp storeAccOp(OpKind kind, std::vector<Addr> addrs,
+                  std::uint8_t map_slot = 0);
+WarpOp barrierOp();
+/** @} */
+
+/**
+ * An AddMap executed at thread-block start (stash configurations).
+ * `stashOffset` is relative to the block's local allocation.
+ */
+struct AddMapOp
+{
+    LocalAddr stashOffset = 0;
+    TileSpec tile;
+};
+
+/** A DMA transfer descriptor (ScratchGD configuration). */
+struct DmaOp
+{
+    LocalAddr localOffset = 0;
+    TileSpec tile;
+};
+
+/**
+ * One thread block: its local-memory footprint, its mappings/DMA
+ * descriptors, and one op stream per warp.
+ */
+struct ThreadBlock
+{
+    std::uint32_t localBytes = 0;
+    std::vector<AddMapOp> addMaps;
+    std::vector<DmaOp> dmaLoads;
+    std::vector<DmaOp> dmaStores;
+    std::vector<std::vector<WarpOp>> warps;
+
+    /** Total dynamic warp instructions in this block (for tests). */
+    std::uint64_t dynamicInstructions() const;
+};
+
+/**
+ * One kernel launch: a grid of thread blocks.
+ */
+struct Kernel
+{
+    std::string name;
+    std::vector<ThreadBlock> blocks;
+
+    std::uint64_t dynamicInstructions() const;
+};
+
+} // namespace stashsim
+
+#endif // STASHSIM_GPU_KERNEL_HH

@@ -1,0 +1,399 @@
+#include "mem/cache.hh"
+
+#include "sim/log.hh"
+
+namespace stashsim
+{
+
+L1Cache::L1Cache(EventQueue &eq, Fabric &fabric, Tlb &tlb, CoreId owner,
+                 NodeId node, const Params &p)
+    : eq(eq), fabric(fabric), tlb(tlb), owner(owner), node(node),
+      params(p), sets(p.bytes / (lineBytes * p.assoc)),
+      lines(sets * p.assoc)
+{
+    sim_assert(sets > 0 && (sets & (sets - 1)) == 0);
+}
+
+unsigned
+L1Cache::setIndex(PhysAddr pa) const
+{
+    return unsigned((pa / lineBytes) & (sets - 1));
+}
+
+L1Cache::Line *
+L1Cache::findLine(PhysAddr line_pa)
+{
+    Line *base = &lines[setIndex(line_pa) * params.assoc];
+    for (unsigned w = 0; w < params.assoc; ++w) {
+        if (base[w].allocated && base[w].pa == line_pa)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+L1Cache::Line *
+L1Cache::allocLine(PhysAddr line_pa)
+{
+    Line *base = &lines[setIndex(line_pa) * params.assoc];
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < params.assoc; ++w) {
+        Line &l = base[w];
+        if (!l.allocated) {
+            victim = &l;
+            break;
+        }
+        if (l.pinned)
+            continue;
+        if (!victim || l.lastUse < victim->lastUse)
+            victim = &l;
+    }
+    if (!victim)
+        return nullptr; // every way pinned by an MSHR
+    if (victim->allocated)
+        evict(*victim);
+    victim->allocated = true;
+    victim->pa = line_pa;
+    victim->st.fill(WordState::Invalid);
+    victim->data = LineData{};
+    victim->lastUse = ++useClock;
+    victim->pinned = false;
+    return victim;
+}
+
+void
+L1Cache::evict(Line &line)
+{
+    sim_assert(!line.pinned);
+    ++_stats.evictions;
+    WordMask dirty = 0;
+    for (unsigned w = 0; w < wordsPerLine; ++w) {
+        if (line.st[w] == WordState::Registered)
+            dirty |= wordBit(w);
+    }
+    if (dirty)
+        writebackWords(line, dirty);
+    line.allocated = false;
+}
+
+void
+L1Cache::writebackWords(Line &line, WordMask mask)
+{
+    ++_stats.writebacks;
+    _stats.wordsWrittenBack += popcount(mask);
+    Msg wb;
+    wb.type = MsgType::WbReq;
+    wb.requester = owner;
+    wb.requesterUnit = Unit::L1;
+    wb.linePA = line.pa;
+    wb.mask = mask;
+    wb.data = line.data;
+    fabric.send(node, fabric.nodeOfLlc(line.pa), Unit::Llc,
+                std::move(wb));
+}
+
+WordMask
+L1Cache::readableMask(const Line &line) const
+{
+    WordMask m = 0;
+    for (unsigned w = 0; w < wordsPerLine; ++w) {
+        if (readable(line.st[w]))
+            m |= wordBit(w);
+    }
+    return m;
+}
+
+void
+L1Cache::access(Addr line_va, WordMask mask, bool is_store,
+                const LineData *store_data, AccessDone done)
+{
+    sim_assert(line_va % lineBytes == 0);
+    sim_assert(mask != 0);
+    doAccess(line_va, mask, is_store, store_data, std::move(done));
+}
+
+void
+L1Cache::doAccess(Addr line_va, WordMask mask, bool is_store,
+                  const LineData *store_data, AccessDone done)
+{
+    // Physically tagged: translate on every access.  Statistics are
+    // charged only when the access actually proceeds (a deferred
+    // access sits in a post-translation queue and is not re-charged
+    // on replay).
+    const PhysAddr line_pa = tlb.translate(line_va);
+
+    Line *line = findLine(line_pa);
+    const Tick hit_latency = params.hitCycles * params.clockPeriod;
+
+    if (is_store) {
+        sim_assert(store_data != nullptr);
+        if (!line) {
+            line = allocLine(line_pa);
+            if (!line) {
+                // All ways pinned: defer until an MSHR releases.
+                DeferredAccess d{line_va, mask, true, *store_data, true,
+                                 std::move(done)};
+                deferred.push_back(std::move(d));
+                return;
+            }
+        }
+        ++_stats.tlbAccesses;
+        line->lastUse = ++useClock;
+        WordMask need_reg = 0;
+        for (unsigned w = 0; w < wordsPerLine; ++w) {
+            if (!(mask & wordBit(w)))
+                continue;
+            line->data.w[w] = store_data->w[w];
+            if (line->st[w] != WordState::Registered) {
+                line->st[w] = WordState::Registered;
+                need_reg |= wordBit(w);
+            }
+        }
+        _stats.hitWords += popcount(WordMask(mask & ~need_reg));
+        _stats.missWords += popcount(need_reg);
+        if (need_reg) {
+            ++_stats.storeMisses;
+            Msg reg;
+            reg.type = MsgType::RegReq;
+            reg.requester = owner;
+            reg.requesterUnit = Unit::L1;
+            reg.linePA = line_pa;
+            reg.mask = need_reg;
+            fabric.send(node, fabric.nodeOfLlc(line_pa), Unit::Llc,
+                        std::move(reg));
+        } else {
+            ++_stats.storeHits;
+        }
+        // Stores complete locally (write-buffer semantics); the
+        // registration ack is not on the critical path.
+        LineData snapshot = line->data;
+        eq.scheduleIn(hit_latency, [done = std::move(done),
+                                    snapshot]() { done(snapshot); });
+        return;
+    }
+
+    // Load path.
+    const WordMask present = line ? readableMask(*line) : 0;
+    const WordMask missing = mask & ~present;
+    if (!missing) {
+        ++_stats.tlbAccesses;
+        ++_stats.loadHits;
+        _stats.hitWords += popcount(mask);
+        line->lastUse = ++useClock;
+        LineData snapshot = line->data;
+        eq.scheduleIn(hit_latency, [done = std::move(done),
+                                    snapshot]() { done(snapshot); });
+        return;
+    }
+
+    if (!line) {
+        if (mshrs.size() >= params.mshrs &&
+            mshrs.find(line_pa) == mshrs.end()) {
+            deferred.push_back(
+                DeferredAccess{line_va, mask, false, LineData{}, false,
+                               std::move(done)});
+            return;
+        }
+        line = allocLine(line_pa);
+        if (!line) {
+            deferred.push_back(
+                DeferredAccess{line_va, mask, false, LineData{}, false,
+                               std::move(done)});
+            return;
+        }
+    }
+    ++_stats.tlbAccesses;
+    ++_stats.loadMisses;
+    _stats.hitWords += popcount(WordMask(mask & ~missing));
+    _stats.missWords += popcount(missing);
+    line->lastUse = ++useClock;
+    line->pinned = true;
+
+    Mshr &mshr = mshrs[line_pa];
+    mshr.waiters.push_back(Waiter{mask, std::move(done)});
+    const WordMask to_request = missing & ~mshr.requested;
+    if (to_request) {
+        mshr.requested |= to_request;
+        Msg req;
+        req.type = MsgType::ReadReq;
+        req.requester = owner;
+        req.requesterUnit = Unit::L1;
+        req.linePA = line_pa;
+        req.mask = to_request;
+        req.wordsOnly = false; // caches take whole-line fills
+        fabric.send(node, fabric.nodeOfLlc(line_pa), Unit::Llc,
+                    std::move(req));
+    }
+}
+
+void
+L1Cache::completeWaiters(PhysAddr line_pa, Line &line)
+{
+    auto it = mshrs.find(line_pa);
+    if (it == mshrs.end())
+        return;
+    Mshr &mshr = it->second;
+    const WordMask present = readableMask(line);
+    const Tick hit_latency = params.hitCycles * params.clockPeriod;
+
+    for (auto w = mshr.waiters.begin(); w != mshr.waiters.end();) {
+        if ((w->mask & ~present) == 0) {
+            LineData snapshot = line.data;
+            eq.scheduleIn(hit_latency,
+                          [done = std::move(w->done), snapshot]() {
+                              done(snapshot);
+                          });
+            w = mshr.waiters.erase(w);
+        } else {
+            ++w;
+        }
+    }
+    if (mshr.waiters.empty()) {
+        mshrs.erase(it);
+        line.pinned = false;
+        replayDeferred();
+    }
+}
+
+void
+L1Cache::replayDeferred()
+{
+    if (deferred.empty())
+        return;
+    // Replay everything; unservable accesses re-defer themselves.
+    std::deque<DeferredAccess> pending;
+    pending.swap(deferred);
+    for (auto &d : pending) {
+        doAccess(d.lineVA, d.mask, d.isStore,
+                 d.hasStoreData ? &d.storeData : nullptr,
+                 std::move(d.done));
+    }
+}
+
+void
+L1Cache::receive(const Msg &msg)
+{
+    switch (msg.type) {
+      case MsgType::ReadResp: {
+        Line *line = findLine(msg.linePA);
+        if (!line) {
+            // The MSHR pins the line, so this cannot happen unless
+            // there was no MSHR (late duplicate response); drop.
+            return;
+        }
+        for (unsigned w = 0; w < wordsPerLine; ++w) {
+            if (!(msg.mask & wordBit(w)))
+                continue;
+            if (line->st[w] == WordState::Invalid) {
+                line->data.w[w] = msg.data.w[w];
+                line->st[w] = WordState::Valid;
+            }
+            // Registered words hold our own newer data; never
+            // overwrite them with a fill.
+        }
+        completeWaiters(msg.linePA, *line);
+        return;
+      }
+      case MsgType::RegAck:
+        // Registration was taken optimistically at store time.
+        return;
+      case MsgType::InvReq: {
+        Line *line = findLine(msg.linePA);
+        if (!line)
+            return;
+        for (unsigned w = 0; w < wordsPerLine; ++w) {
+            if (msg.mask & wordBit(w))
+                line->st[w] = WordState::Invalid;
+        }
+        return;
+      }
+      case MsgType::FwdReadReq: {
+        Line *line = findLine(msg.linePA);
+        const WordMask have = line ? readableMask(*line) : 0;
+        const WordMask can = msg.mask & have;
+        if (can) {
+            ++_stats.remoteHits;
+            Msg resp;
+            resp.type = MsgType::ReadResp;
+            resp.requester = msg.requester;
+            resp.requesterUnit = msg.requesterUnit;
+            resp.linePA = msg.linePA;
+            resp.mask = can;
+            resp.data = line->data;
+            fabric.sendToRequester(node, resp);
+        }
+        const WordMask miss = msg.mask & ~have;
+        if (miss) {
+            if (msg.retries > 100) {
+                panic("L1: unresolvable forwarded request "
+                      "(stale registration at the directory?)");
+            }
+            // Raced with our own writeback; bounce back to the LLC.
+            Msg retry;
+            retry.type = MsgType::FwdRetry;
+            retry.requester = msg.requester;
+            retry.requesterUnit = msg.requesterUnit;
+            retry.linePA = msg.linePA;
+            retry.mask = miss;
+            retry.wordsOnly = true;
+            retry.retries = std::uint8_t(msg.retries + 1);
+            fabric.send(node, fabric.nodeOfLlc(msg.linePA), Unit::Llc,
+                        std::move(retry));
+        }
+        return;
+      }
+      case MsgType::WbAck:
+        return;
+      default:
+        panic("L1 received unexpected ", msgTypeName(msg.type));
+    }
+}
+
+void
+L1Cache::selfInvalidate()
+{
+    for (Line &line : lines) {
+        if (!line.allocated)
+            continue;
+        bool any_registered = false;
+        for (unsigned w = 0; w < wordsPerLine; ++w) {
+            if (line.st[w] == WordState::Valid) {
+                line.st[w] = WordState::Invalid;
+                ++_stats.selfInvalidations;
+            } else if (line.st[w] == WordState::Registered) {
+                any_registered = true;
+            }
+        }
+        if (!any_registered && !line.pinned)
+            line.allocated = false;
+    }
+}
+
+void
+L1Cache::flushAll()
+{
+    for (Line &line : lines) {
+        if (!line.allocated)
+            continue;
+        WordMask dirty = 0;
+        for (unsigned w = 0; w < wordsPerLine; ++w) {
+            if (line.st[w] == WordState::Registered) {
+                dirty |= wordBit(w);
+                line.st[w] = WordState::Valid;
+            }
+        }
+        if (dirty)
+            writebackWords(line, dirty);
+    }
+}
+
+WordState
+L1Cache::probe(Addr va)
+{
+    const PhysAddr pa = tlb.translate(va);
+    Line *line = findLine(lineBase(pa));
+    if (!line)
+        return WordState::Invalid;
+    return line->st[lineWord(pa)];
+}
+
+} // namespace stashsim

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * L1 cache with word-granularity DeNovo coherence.
+ *
+ * 32 KB, 8-way, 64 B lines, writeback (Table 2).  Tags are at line
+ * granularity; coherence state is per word (DeNovo).  The cache is
+ * physically tagged, so every access consults the per-core TLB — the
+ * energy overhead the stash avoids on hits.
+ *
+ * Protocol behaviour (paper Section 4.3):
+ *  - Load miss: request the missing words from the LLC; the LLC
+ *    responds with every word of the line it holds (line-granularity
+ *    transfer) and forwards remotely-registered demanded words to
+ *    their owners.
+ *  - Store: writes complete locally; words not yet Registered move to
+ *    Registered optimistically while a registration request is sent
+ *    to the LLC directory (DeNovo has no transient states; under the
+ *    data-race-free discipline the ack cannot be refused).
+ *  - Self-invalidation at kernel/phase boundaries drops Valid words
+ *    and keeps Registered words.
+ *  - Evicting a line writes back only its Registered words.
+ *  - The cache serves forwarded requests for words it has registered
+ *    (remote L1 hits).
+ */
+
+#ifndef STASHSIM_MEM_CACHE_HH
+#define STASHSIM_MEM_CACHE_HH
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/coherence/denovo.hh"
+#include "mem/fabric.hh"
+#include "mem/tlb.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace stashsim
+{
+
+/**
+ * One private L1 cache.
+ */
+class L1Cache : public MemObject
+{
+  public:
+    struct Params
+    {
+        unsigned bytes = 32 * 1024;
+        unsigned assoc = 8;
+        unsigned mshrs = 64;
+        Cycles hitCycles = 1;
+        Tick clockPeriod = gpuClockPeriod;
+    };
+
+    /** Completion callback: delivers the line image (loads read it). */
+    using AccessDone = std::function<void(const LineData &)>;
+
+    L1Cache(EventQueue &eq, Fabric &fabric, Tlb &tlb, CoreId owner,
+            NodeId node, const Params &p);
+
+    /**
+     * Word-masked access to one line.
+     *
+     * @param line_va   virtual line base address
+     * @param mask      words accessed
+     * @param is_store  store vs load
+     * @param store_data data for stores (words in @p mask); null for
+     *                   loads
+     * @param done      runs when the access completes
+     */
+    void access(Addr line_va, WordMask mask, bool is_store,
+                const LineData *store_data, AccessDone done);
+
+    /** Kernel/phase boundary: drop Valid words, keep Registered. */
+    void selfInvalidate();
+
+    /** Writes back all registered words (end of program). */
+    void flushAll();
+
+    void receive(const Msg &msg) override;
+
+    const CacheStats &stats() const { return _stats; }
+
+    /** Number of sets (for tests). */
+    unsigned numSets() const { return sets; }
+
+    /** Looks up the state of a word; Invalid if not present. */
+    WordState probe(Addr va);
+
+  private:
+    struct Line
+    {
+        bool allocated = false;
+        PhysAddr pa = 0; //!< line base physical address
+        std::array<WordState, wordsPerLine> st{};
+        LineData data;
+        std::uint64_t lastUse = 0;
+        bool pinned = false; //!< an MSHR targets this line
+    };
+
+    struct Waiter
+    {
+        WordMask mask;
+        AccessDone done;
+    };
+
+    struct Mshr
+    {
+        std::vector<Waiter> waiters;
+        WordMask requested = 0; //!< words asked of the LLC so far
+    };
+
+    struct DeferredAccess
+    {
+        Addr lineVA;
+        WordMask mask;
+        bool isStore;
+        LineData storeData;
+        bool hasStoreData;
+        AccessDone done;
+    };
+
+    unsigned setIndex(PhysAddr pa) const;
+    Line *findLine(PhysAddr line_pa);
+    /** Allocates a way for @p line_pa; null if all ways are pinned. */
+    Line *allocLine(PhysAddr line_pa);
+    void evict(Line &line);
+    void writebackWords(Line &line, WordMask mask);
+    WordMask readableMask(const Line &line) const;
+    void completeWaiters(PhysAddr line_pa, Line &line);
+    void replayDeferred();
+    void doAccess(Addr line_va, WordMask mask, bool is_store,
+                  const LineData *store_data, AccessDone done);
+
+    EventQueue &eq;
+    Fabric &fabric;
+    Tlb &tlb;
+    CoreId owner;
+    NodeId node;
+    Params params;
+    unsigned sets;
+    std::vector<Line> lines; //!< sets x assoc, row-major
+    std::unordered_map<PhysAddr, Mshr> mshrs;
+    std::deque<DeferredAccess> deferred;
+    std::uint64_t useClock = 0;
+    CacheStats _stats;
+};
+
+} // namespace stashsim
+
+#endif // STASHSIM_MEM_CACHE_HH

@@ -1,0 +1,100 @@
+#include "mem/coherence/denovo.hh"
+
+#include "mem/coherence/msg.hh"
+
+namespace stashsim
+{
+
+const char *
+wordStateName(WordState s)
+{
+    switch (s) {
+      case WordState::Invalid:
+        return "Invalid";
+      case WordState::Valid:
+        return "Valid";
+      case WordState::Registered:
+        return "Registered";
+      default:
+        return "?";
+    }
+}
+
+const char *
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::ReadReq:
+        return "ReadReq";
+      case MsgType::ReadResp:
+        return "ReadResp";
+      case MsgType::RegReq:
+        return "RegReq";
+      case MsgType::RegAck:
+        return "RegAck";
+      case MsgType::InvReq:
+        return "InvReq";
+      case MsgType::WbReq:
+        return "WbReq";
+      case MsgType::WbAck:
+        return "WbAck";
+      case MsgType::FwdReadReq:
+        return "FwdReadReq";
+      case MsgType::FwdRetry:
+        return "FwdRetry";
+      case MsgType::DmaReadReq:
+        return "DmaReadReq";
+      case MsgType::DmaReadResp:
+        return "DmaReadResp";
+      case MsgType::DmaWriteReq:
+        return "DmaWriteReq";
+      case MsgType::DmaWriteAck:
+        return "DmaWriteAck";
+      default:
+        return "?";
+    }
+}
+
+MsgClass
+msgClassOf(MsgType t)
+{
+    switch (t) {
+      case MsgType::ReadReq:
+      case MsgType::ReadResp:
+      case MsgType::FwdReadReq:
+      case MsgType::FwdRetry:
+      case MsgType::DmaReadReq:
+      case MsgType::DmaReadResp:
+        return MsgClass::Read;
+      case MsgType::RegReq:
+      case MsgType::RegAck:
+      case MsgType::InvReq:
+        return MsgClass::Write;
+      case MsgType::WbReq:
+      case MsgType::WbAck:
+      case MsgType::DmaWriteReq:
+      case MsgType::DmaWriteAck:
+        return MsgClass::Writeback;
+      default:
+        return MsgClass::Read;
+    }
+}
+
+unsigned
+msgBytes(const Msg &m)
+{
+    // 8 bytes of header/address/control per message; data-bearing
+    // messages add 4 bytes per transferred word.
+    constexpr unsigned header = 8;
+    switch (m.type) {
+      case MsgType::ReadResp:
+      case MsgType::WbReq:
+      case MsgType::DmaReadResp:
+      case MsgType::DmaWriteReq:
+        return header + wordBytes * popcount(m.mask);
+      default:
+        return header;
+    }
+}
+
+} // namespace stashsim

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * DeNovo word-granularity coherence state.
+ *
+ * The paper extends DeNovo (Choi et al., PACT'11) because it already
+ * tracks coherence at word granularity with line-granularity tags,
+ * has no transient states, and uses reader self-invalidation at
+ * synchronization points (kernel boundaries here) instead of
+ * writer-initiated sharer invalidations.  The three stable states:
+ *
+ *   Invalid    - the word holds no usable data.
+ *   Valid      - the word holds clean data (readable; a store must
+ *                first obtain registration).
+ *   Registered - this core owns the word: its copy is the up-to-date
+ *                one and the LLC directory points at it.  Registered
+ *                words survive self-invalidation; Valid words do not.
+ *
+ * The stash adds one more conceptual flag: a registered word inside a
+ * stash chunk whose thread block has finished is "awaiting writeback"
+ * (the paper folds this into the spare encodings of the two state
+ * bits; we keep a per-chunk writeback bit, as Section 4.2 describes).
+ */
+
+#ifndef STASHSIM_MEM_COHERENCE_DENOVO_HH
+#define STASHSIM_MEM_COHERENCE_DENOVO_HH
+
+#include <cstdint>
+
+namespace stashsim
+{
+
+/** Per-word DeNovo coherence state. */
+enum class WordState : std::uint8_t
+{
+    Invalid = 0,
+    Valid = 1,
+    Registered = 2,
+};
+
+/** Printable state name. */
+const char *wordStateName(WordState s);
+
+/** A word is readable locally when it holds usable data. */
+constexpr bool
+readable(WordState s)
+{
+    return s != WordState::Invalid;
+}
+
+/** A word is writable locally only when registered. */
+constexpr bool
+writable(WordState s)
+{
+    return s == WordState::Registered;
+}
+
+} // namespace stashsim
+
+#endif // STASHSIM_MEM_COHERENCE_DENOVO_HH

@@ -1,0 +1,46 @@
+#include "mem/fabric.hh"
+
+#include "sim/log.hh"
+
+namespace stashsim
+{
+
+void
+Fabric::registerObject(NodeId node, Unit unit, MemObject *obj)
+{
+    sim_assert(obj != nullptr);
+    auto key = std::make_pair(node, unsigned(unit));
+    sim_assert(objects.find(key) == objects.end());
+    objects[key] = obj;
+}
+
+void
+Fabric::registerCore(CoreId core, NodeId node)
+{
+    if (coreNodes.size() <= core)
+        coreNodes.resize(core + 1, NodeId(~0u));
+    coreNodes[core] = node;
+}
+
+NodeId
+Fabric::nodeOfCore(CoreId core) const
+{
+    sim_assert(core < coreNodes.size());
+    sim_assert(coreNodes[core] != NodeId(~0u));
+    return coreNodes[core];
+}
+
+void
+Fabric::send(NodeId src, NodeId dst, Unit unit, Msg msg)
+{
+    auto it = objects.find(std::make_pair(dst, unsigned(unit)));
+    if (it == objects.end()) {
+        panic("fabric: no ", unsigned(unit), " unit at node ", dst,
+              " for ", msgTypeName(msg.type));
+    }
+    MemObject *target = it->second;
+    mesh.send(src, dst, msgBytes(msg), msgClassOf(msg.type),
+              [target, msg = std::move(msg)]() { target->receive(msg); });
+}
+
+} // namespace stashsim

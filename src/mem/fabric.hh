@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fabric: routes coherence messages between memory objects over the
+ * mesh.
+ *
+ * Every coherence participant (L1 cache, stash, LLC bank, DMA engine)
+ * implements MemObject and registers itself under a (node, unit)
+ * address.  The Fabric computes message sizes and traffic classes,
+ * hands packets to the Mesh for timing, and delivers them to the
+ * destination object's receive() method.  It also owns the address
+ * interleaving of the NUCA LLC (line-granularity, bank = line % 16,
+ * one bank per node, per Table 2).
+ */
+
+#ifndef STASHSIM_MEM_FABRIC_HH
+#define STASHSIM_MEM_FABRIC_HH
+
+#include <map>
+#include <vector>
+
+#include "mem/coherence/msg.hh"
+#include "noc/mesh.hh"
+#include "sim/types.hh"
+
+namespace stashsim
+{
+
+/**
+ * Interface for anything that can receive coherence messages.
+ */
+class MemObject
+{
+  public:
+    virtual ~MemObject() = default;
+
+    /** Handles an arriving message. */
+    virtual void receive(const Msg &msg) = 0;
+};
+
+/**
+ * Message router: (node, unit) addressing on top of the Mesh.
+ */
+class Fabric
+{
+  public:
+    explicit Fabric(Mesh &mesh) : mesh(mesh) {}
+
+    /** Registers @p obj as the @p unit at @p node. */
+    void registerObject(NodeId node, Unit unit, MemObject *obj);
+
+    /** Records that core @p core lives at mesh node @p node. */
+    void registerCore(CoreId core, NodeId node);
+
+    /** Mesh node of core @p core. */
+    NodeId nodeOfCore(CoreId core) const;
+
+    /** Mesh node holding the LLC bank for line @p line_pa. */
+    NodeId
+    nodeOfLlc(PhysAddr line_pa) const
+    {
+        return NodeId((line_pa / lineBytes) % mesh.numNodes());
+    }
+
+    /** Sends @p msg from @p src to the @p unit at @p dst. */
+    void send(NodeId src, NodeId dst, Unit unit, Msg msg);
+
+    /** Convenience: sends a response back to the original requester. */
+    void
+    sendToRequester(NodeId src, const Msg &msg)
+    {
+        send(src, nodeOfCore(msg.requester), msg.requesterUnit, msg);
+    }
+
+  private:
+    Mesh &mesh;
+    std::map<std::pair<NodeId, unsigned>, MemObject *> objects;
+    std::vector<NodeId> coreNodes;
+};
+
+} // namespace stashsim
+
+#endif // STASHSIM_MEM_FABRIC_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Functional (zero-time) access to the memory image by virtual
+ * address.  Used by workloads to set up initial data and by
+ * validation to inspect final results; it bypasses all timing and
+ * coherence machinery, so the System only exposes it outside the
+ * simulated run (and after flushing all caches/stashes).
+ */
+
+#ifndef STASHSIM_MEM_FUNCTIONAL_MEM_HH
+#define STASHSIM_MEM_FUNCTIONAL_MEM_HH
+
+#include "mem/main_memory.hh"
+#include "mem/page_table.hh"
+
+namespace stashsim
+{
+
+/**
+ * Virtual-addressed functional view of main memory.
+ */
+class FunctionalMem
+{
+  public:
+    FunctionalMem(MainMemory &mem, PageTable &pt) : mem(mem), pt(pt) {}
+
+    std::uint32_t
+    readWord(Addr va)
+    {
+        return mem.readWord(pt.translate(va));
+    }
+
+    void
+    writeWord(Addr va, std::uint32_t value)
+    {
+        mem.writeWord(pt.translate(va), value);
+    }
+
+  private:
+    MainMemory &mem;
+    PageTable &pt;
+};
+
+} // namespace stashsim
+
+#endif // STASHSIM_MEM_FUNCTIONAL_MEM_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Word-granularity cache-line primitives.
+ *
+ * The DeNovo protocol used by the paper keeps coherence state per
+ * 4-byte word while tags stay at 64-byte line granularity, and the
+ * stash transfers *partial* lines (only the useful words).  WordMask
+ * is the per-line bitmask (bit i = word i) used throughout requests,
+ * responses, and writebacks.
+ */
+
+#ifndef STASHSIM_MEM_LINE_HH
+#define STASHSIM_MEM_LINE_HH
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace stashsim
+{
+
+/** Bitmask selecting words within one cache line (16 words). */
+using WordMask = std::uint16_t;
+
+/** Mask with all words of a line selected. */
+constexpr WordMask fullLineMask = 0xffff;
+
+/** Mask with only word @p w selected. */
+constexpr WordMask
+wordBit(unsigned w)
+{
+    return WordMask(1u << w);
+}
+
+/** Number of words selected by @p m. */
+inline unsigned
+popcount(WordMask m)
+{
+    return unsigned(std::popcount(m));
+}
+
+/** The data payload of one cache line. */
+struct LineData
+{
+    std::array<std::uint32_t, wordsPerLine> w{};
+};
+
+} // namespace stashsim
+
+#endif // STASHSIM_MEM_LINE_HH

@@ -1,0 +1,374 @@
+#include "mem/llc.hh"
+
+#include <map>
+
+#include "sim/log.hh"
+
+namespace stashsim
+{
+
+LlcBank::LlcBank(EventQueue &eq, Fabric &fabric, MainMemory &mem,
+                 NodeId node, const Params &p)
+    : eq(eq), fabric(fabric), mem(mem), node(node), params(p),
+      sets(p.bankBytes / (lineBytes * p.assoc)), lines(sets * p.assoc)
+{
+    sim_assert(sets > 0 && (sets & (sets - 1)) == 0);
+}
+
+unsigned
+LlcBank::setIndex(PhysAddr pa) const
+{
+    // Banks interleave at line granularity across nodes; the bits
+    // above the bank selector index the set within the bank.
+    return unsigned((pa / lineBytes / 16) & (sets - 1));
+}
+
+LlcBank::Line *
+LlcBank::findLine(PhysAddr line_pa)
+{
+    Line *base = &lines[setIndex(line_pa) * params.assoc];
+    for (unsigned w = 0; w < params.assoc; ++w) {
+        if (base[w].allocated && base[w].pa == line_pa)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+LlcBank::Line *
+LlcBank::allocLine(PhysAddr line_pa)
+{
+    Line *base = &lines[setIndex(line_pa) * params.assoc];
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < params.assoc; ++w) {
+        Line &l = base[w];
+        if (!l.allocated) {
+            victim = &l;
+            break;
+        }
+        if (l.fillPending)
+            continue;
+        bool has_registered = false;
+        for (const WordEntry &we : l.words) {
+            if (we.state == WordState::Registered) {
+                has_registered = true;
+                break;
+            }
+        }
+        if (has_registered)
+            continue; // never evict the registry's only pointer
+        if (!victim || l.lastUse < victim->lastUse)
+            victim = &l;
+    }
+    if (!victim) {
+        panic("LLC bank ", node, ": set full of registered lines; the "
+              "workload working set exceeds what this model supports");
+    }
+    if (victim->allocated) {
+        if (victim->dirty) {
+            LineData d;
+            WordMask m = 0;
+            for (unsigned w = 0; w < wordsPerLine; ++w) {
+                d.w[w] = victim->words[w].data;
+                m |= wordBit(w);
+            }
+            mem.writeLine(victim->pa, m, d);
+            ++_stats.memWrites;
+        }
+    }
+    victim->allocated = true;
+    victim->pa = line_pa;
+    victim->words.fill(WordEntry{});
+    victim->dirty = false;
+    victim->lastUse = ++useClock;
+    victim->fillPending = false;
+    victim->waiting.clear();
+    return victim;
+}
+
+void
+LlcBank::receive(const Msg &msg)
+{
+    Line *line = findLine(msg.linePA);
+    if (line && line->fillPending) {
+        line->waiting.push_back(msg);
+        return;
+    }
+    if (!line) {
+        line = allocLine(msg.linePA);
+        line->fillPending = true;
+        line->waiting.push_back(msg);
+        const PhysAddr pa = msg.linePA;
+        eq.scheduleIn(params.dramCycles * params.clockPeriod, [this,
+                                                               pa]() {
+            Line *l = findLine(pa);
+            sim_assert(l && l->fillPending);
+            const LineData d = mem.readLine(pa);
+            for (unsigned w = 0; w < wordsPerLine; ++w) {
+                l->words[w].state = WordState::Valid;
+                l->words[w].data = d.w[w];
+            }
+            l->fillPending = false;
+            ++_stats.fills;
+            std::vector<Msg> pending;
+            pending.swap(l->waiting);
+            for (const Msg &m : pending)
+                process(m);
+        });
+        return;
+    }
+    process(msg);
+}
+
+void
+LlcBank::process(const Msg &msg)
+{
+    // Bank access latency, then serve.  Copy the message; the line is
+    // re-looked-up at serve time (it cannot be evicted meanwhile in
+    // this model because eviction only happens on allocation, which
+    // only happens in receive(), which runs at delivery time -- but a
+    // concurrent fill allocation in the same set could evict us, so
+    // re-find defensively).
+    Msg m = msg;
+    eq.scheduleIn(params.accessCycles * params.clockPeriod, [this, m]() {
+        Line *line = findLine(m.linePA);
+        if (!line) {
+            // Evicted between accept and serve: retry from scratch.
+            receive(m);
+            return;
+        }
+        line->lastUse = ++useClock;
+        ++_stats.accesses;
+        switch (m.type) {
+          case MsgType::ReadReq:
+          case MsgType::FwdRetry:
+          case MsgType::DmaReadReq:
+            serveRead(m, *line);
+            break;
+          case MsgType::RegReq:
+            serveReg(m, *line);
+            break;
+          case MsgType::WbReq:
+          case MsgType::DmaWriteReq:
+            serveWb(m, *line);
+            break;
+          default:
+            panic("LLC received unexpected ", msgTypeName(m.type));
+        }
+    });
+}
+
+void
+LlcBank::serveRead(const Msg &msg, Line &line)
+{
+    ++_stats.reads;
+    if (tracePA(msg.linePA) && msg.retries < 3) {
+        inform("LLC Read pa=0x", std::hex, msg.linePA, std::dec,
+               " mask=0x", std::hex, msg.mask, std::dec, " from core ",
+               msg.requester, " retries ", unsigned(msg.retries),
+               " w0state=", wordStateName(line.words[0].state),
+               " w0owner=", line.words[0].owner, " w0idx=",
+               unsigned(line.words[0].mapIdx));
+    }
+
+    // Forward demanded words that are registered elsewhere, grouped
+    // by (owner, unit, map index).
+    std::map<std::tuple<CoreId, bool, unsigned>, WordMask> fwd;
+    WordMask remote = 0;
+    for (unsigned w = 0; w < wordsPerLine; ++w) {
+        if (!(msg.mask & wordBit(w)))
+            continue;
+        const WordEntry &we = line.words[w];
+        if (we.state != WordState::Registered)
+            continue;
+        // The owner may be the requester itself: a stash re-reading,
+        // under a new mapping, data its older mapping still owns, or
+        // an L1 racing its own eviction's writeback.  Forward anyway;
+        // the owner serves from the registered location or bounces a
+        // retry that lands after the writeback.
+        fwd[{we.owner, we.ownerIsStash, we.mapIdx}] |= wordBit(w);
+        remote |= wordBit(w);
+    }
+
+    for (const auto &[key, mask] : fwd) {
+        const auto &[owner, is_stash, map_idx] = key;
+        ++_stats.remoteForwards;
+        Msg f;
+        f.type = MsgType::FwdReadReq;
+        f.requester = msg.requester;
+        f.requesterUnit = msg.requesterUnit;
+        f.linePA = msg.linePA;
+        f.mask = mask;
+        f.stashMapIdx = std::uint8_t(map_idx);
+        f.retries = msg.retries;
+        fabric.send(node, fabric.nodeOfCore(owner),
+                    is_stash ? Unit::Stash : Unit::L1, std::move(f));
+    }
+
+    // Respond with what the LLC holds: exactly the demanded words for
+    // word-granularity requesters (stash/DMA), the whole line's valid
+    // words for cache fills.
+    WordMask resp_mask = 0;
+    LineData d;
+    for (unsigned w = 0; w < wordsPerLine; ++w) {
+        const WordEntry &we = line.words[w];
+        if (we.state != WordState::Valid)
+            continue;
+        if (msg.wordsOnly && !(msg.mask & wordBit(w)))
+            continue;
+        resp_mask |= wordBit(w);
+        d.w[w] = we.data;
+    }
+    if (resp_mask) {
+        Msg resp;
+        resp.type = msg.type == MsgType::DmaReadReq ? MsgType::DmaReadResp
+                                                    : MsgType::ReadResp;
+        resp.requester = msg.requester;
+        resp.requesterUnit = msg.requesterUnit;
+        resp.linePA = msg.linePA;
+        resp.mask = resp_mask;
+        resp.data = d;
+        fabric.sendToRequester(node, resp);
+    }
+}
+
+void
+LlcBank::serveReg(const Msg &msg, Line &line)
+{
+    if (tracePA(msg.linePA)) {
+        inform("LLC RegReq pa=0x", std::hex, msg.linePA, std::dec,
+               " mask=0x", std::hex, msg.mask, std::dec, " from core ",
+               msg.requester, msg.ownerIsStash ? " (stash idx " : " (L1",
+               msg.ownerIsStash ? std::to_string(msg.stashMapIdx) : "",
+               ")");
+    }
+    // Invalidate previous owners (single-owner transfer, the DeNovo
+    // analogue of ownership stealing), grouped per old owner.
+    std::map<std::tuple<CoreId, bool, unsigned>, WordMask> inv;
+    for (unsigned w = 0; w < wordsPerLine; ++w) {
+        if (!(msg.mask & wordBit(w)))
+            continue;
+        WordEntry &we = line.words[w];
+        if (we.state == WordState::Registered &&
+            (we.owner != msg.requester ||
+             we.ownerIsStash != msg.ownerIsStash)) {
+            inv[{we.owner, we.ownerIsStash, we.mapIdx}] |= wordBit(w);
+        }
+        we.state = WordState::Registered;
+        we.owner = msg.requester;
+        we.ownerIsStash = msg.ownerIsStash;
+        we.mapIdx = msg.stashMapIdx;
+        ++_stats.registrations;
+    }
+    line.dirty = true;
+
+    for (const auto &[key, mask] : inv) {
+        const auto &[owner, is_stash, map_idx] = key;
+        ++_stats.invalidationsSent;
+        Msg i;
+        i.type = MsgType::InvReq;
+        i.requester = owner;
+        i.requesterUnit = is_stash ? Unit::Stash : Unit::L1;
+        i.linePA = msg.linePA;
+        i.mask = mask;
+        i.stashMapIdx = std::uint8_t(map_idx);
+        fabric.send(node, fabric.nodeOfCore(owner),
+                    is_stash ? Unit::Stash : Unit::L1, std::move(i));
+    }
+
+    Msg ack;
+    ack.type = MsgType::RegAck;
+    ack.requester = msg.requester;
+    ack.requesterUnit = msg.requesterUnit;
+    ack.linePA = msg.linePA;
+    ack.mask = msg.mask;
+    fabric.sendToRequester(node, ack);
+}
+
+void
+LlcBank::serveWb(const Msg &msg, Line &line)
+{
+    if (tracePA(msg.linePA)) {
+        inform("LLC Wb pa=0x", std::hex, msg.linePA, std::dec,
+               " mask=0x", std::hex, msg.mask, std::dec, " from core ",
+               msg.requester, " unit ",
+               msg.requesterUnit == Unit::Stash ? "stash" : "l1/dma");
+    }
+    const bool is_dma = msg.type == MsgType::DmaWriteReq;
+    std::map<std::tuple<CoreId, bool, unsigned>, WordMask> inv;
+    for (unsigned w = 0; w < wordsPerLine; ++w) {
+        if (!(msg.mask & wordBit(w)))
+            continue;
+        WordEntry &we = line.words[w];
+        if (we.state == WordState::Registered &&
+            (we.owner != msg.requester ||
+             we.ownerIsStash != (msg.requesterUnit == Unit::Stash))) {
+            if (!is_dma) {
+                // Stale writeback: registration has moved on.
+                continue;
+            }
+            // A DMA store is a real store: it takes the word from its
+            // previous owner (whose copy is now stale).
+            inv[{we.owner, we.ownerIsStash, we.mapIdx}] |= wordBit(w);
+        }
+        we.state = WordState::Valid;
+        we.data = msg.data.w[w];
+        we.owner = invalidCore;
+        we.ownerIsStash = false;
+        ++_stats.writebacksRecv;
+    }
+    line.dirty = true;
+
+    for (const auto &[key, mask] : inv) {
+        const auto &[owner, is_stash, map_idx] = key;
+        ++_stats.invalidationsSent;
+        Msg i;
+        i.type = MsgType::InvReq;
+        i.requester = owner;
+        i.requesterUnit = is_stash ? Unit::Stash : Unit::L1;
+        i.linePA = msg.linePA;
+        i.mask = mask;
+        i.stashMapIdx = std::uint8_t(map_idx);
+        fabric.send(node, fabric.nodeOfCore(owner),
+                    is_stash ? Unit::Stash : Unit::L1, std::move(i));
+    }
+
+    Msg ack;
+    ack.type = is_dma ? MsgType::DmaWriteAck : MsgType::WbAck;
+    ack.requester = msg.requester;
+    ack.requesterUnit = msg.requesterUnit;
+    ack.linePA = msg.linePA;
+    ack.mask = msg.mask;
+    fabric.sendToRequester(node, ack);
+}
+
+void
+LlcBank::flushDirtyToMemory()
+{
+    for (Line &line : lines) {
+        if (!line.allocated || !line.dirty)
+            continue;
+        LineData d;
+        WordMask m = 0;
+        for (unsigned w = 0; w < wordsPerLine; ++w) {
+            if (line.words[w].state == WordState::Valid) {
+                d.w[w] = line.words[w].data;
+                m |= wordBit(w);
+            }
+        }
+        if (m)
+            mem.writeLine(line.pa, m, d);
+        line.dirty = false;
+    }
+}
+
+CoreId
+LlcBank::ownerOf(PhysAddr pa)
+{
+    Line *line = findLine(lineBase(pa));
+    if (!line)
+        return invalidCore;
+    const WordEntry &we = line->words[lineWord(pa)];
+    return we.state == WordState::Registered ? we.owner : invalidCore;
+}
+
+} // namespace stashsim

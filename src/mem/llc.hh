@@ -1,0 +1,115 @@
+/**
+ * @file
+ * One bank of the shared L2 (LLC) plus the DeNovo registry.
+ *
+ * The LLC is the ordering point of the protocol.  Per word it holds
+ * either the up-to-date data or a *registration*: the core that owns
+ * the word, whether the owning unit is an L1 or a stash, and — the
+ * paper's key directory extension (Section 4.3, feature 3) — the
+ * owner's stash-map index, stored in the word's data field so the
+ * directory adds no storage.  Demanded words registered elsewhere are
+ * forwarded to their owner, which replies to the requester directly
+ * (remote L1/stash hits, Table 2's 35-83 cycle path).
+ *
+ * Banks are interleaved at line granularity across all 16 mesh nodes
+ * (NUCA); a bank access costs `accessCycles`, a miss adds the DRAM
+ * latency.  Victims with live registrations are never selected (the
+ * directory state is the only pointer to the owner's data); with the
+ * paper's 4 MB LLC and the evaluated working sets this never
+ * constrains the replacement policy in practice, and we panic loudly
+ * if a set ever fills with registered lines.
+ */
+
+#ifndef STASHSIM_MEM_LLC_HH
+#define STASHSIM_MEM_LLC_HH
+
+#include <vector>
+
+#include "mem/coherence/denovo.hh"
+#include "mem/fabric.hh"
+#include "mem/main_memory.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace stashsim
+{
+
+/**
+ * A single LLC bank with DeNovo registry semantics.
+ */
+class LlcBank : public MemObject
+{
+  public:
+    struct Params
+    {
+        unsigned bankBytes = 256 * 1024;
+        unsigned assoc = 16;
+        Cycles accessCycles = 23;
+        Cycles dramCycles = 168;
+        Tick clockPeriod = gpuClockPeriod;
+    };
+
+    LlcBank(EventQueue &eq, Fabric &fabric, MainMemory &mem, NodeId node,
+            const Params &p);
+
+    void receive(const Msg &msg) override;
+
+    /**
+     * Writes every dirty line to main memory (outside measured
+     * execution; used before functional validation).  Lines with
+     * registered words must have been recalled first by flushing the
+     * owners.
+     */
+    void flushDirtyToMemory();
+
+    const LlcStats &stats() const { return _stats; }
+
+    /** Registry probe for tests: owner of the word at @p pa. */
+    CoreId ownerOf(PhysAddr pa);
+
+  private:
+    /** Per-word registry entry. */
+    struct WordEntry
+    {
+        /** Valid: LLC data is current.  Registered: owner has it. */
+        WordState state = WordState::Valid;
+        std::uint32_t data = 0;
+        CoreId owner = invalidCore;
+        bool ownerIsStash = false;
+        std::uint8_t mapIdx = 0;
+    };
+
+    struct Line
+    {
+        bool allocated = false;
+        PhysAddr pa = 0;
+        std::array<WordEntry, wordsPerLine> words{};
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+        bool fillPending = false;
+        std::vector<Msg> waiting; //!< requests queued behind a fill
+    };
+
+    unsigned setIndex(PhysAddr pa) const;
+    Line *findLine(PhysAddr line_pa);
+    Line &getLineOrFill(const Msg &msg, bool *stalled);
+    Line *allocLine(PhysAddr line_pa);
+    void process(const Msg &msg);
+    void serveRead(const Msg &msg, Line &line);
+    void serveReg(const Msg &msg, Line &line);
+    void serveWb(const Msg &msg, Line &line);
+
+    EventQueue &eq;
+    Fabric &fabric;
+    MainMemory &mem;
+    NodeId node;
+    Params params;
+    unsigned sets;
+    std::vector<Line> lines;
+    std::uint64_t useClock = 0;
+    LlcStats _stats;
+};
+
+} // namespace stashsim
+
+#endif // STASHSIM_MEM_LLC_HH

@@ -1,0 +1,33 @@
+#include "mem/page_table.hh"
+
+#include "sim/log.hh"
+
+namespace stashsim
+{
+
+PhysAddr
+PageTable::translate(Addr va)
+{
+    const Addr vpage = pageBase(va);
+    auto it = vToP.find(vpage);
+    if (it == vToP.end()) {
+        const PhysAddr ppage = nextPage;
+        nextPage += pageBytes;
+        it = vToP.emplace(vpage, ppage).first;
+        pToV.emplace(ppage, vpage);
+    }
+    return it->second + (va - vpage);
+}
+
+bool
+PageTable::reverse(PhysAddr pa, Addr *va) const
+{
+    const PhysAddr ppage = pa & ~PhysAddr{pageBytes - 1};
+    auto it = pToV.find(ppage);
+    if (it == pToV.end())
+        return false;
+    *va = it->second + (pa - ppage);
+    return true;
+}
+
+} // namespace stashsim

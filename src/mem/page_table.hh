@@ -1,0 +1,57 @@
+/**
+ * @file
+ * A single shared page table for the unified address space.
+ *
+ * The paper's system has one unified, coherent virtual address space
+ * shared by CPUs and GPUs (Section 5.1), so one page table suffices.
+ * Physical pages are allocated in first-touch order, which decouples
+ * physical from virtual layout — this keeps the VP-map's reverse
+ * (physical-to-virtual) translation honest: it cannot be faked by
+ * arithmetic on the physical address.
+ */
+
+#ifndef STASHSIM_MEM_PAGE_TABLE_HH
+#define STASHSIM_MEM_PAGE_TABLE_HH
+
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace stashsim
+{
+
+/**
+ * Virtual-to-physical page mapping with first-touch allocation.
+ */
+class PageTable
+{
+  public:
+    /**
+     * Translates a virtual address, allocating a physical page on
+     * first touch.
+     */
+    PhysAddr translate(Addr va);
+
+    /**
+     * Reverse-translates a physical address.
+     * @return true and sets @p va when the page is mapped.
+     */
+    bool reverse(PhysAddr pa, Addr *va) const;
+
+    /** Number of mapped pages. */
+    std::size_t numPages() const { return vToP.size(); }
+
+  private:
+    std::unordered_map<Addr, PhysAddr> vToP;   //!< page -> page base
+    std::unordered_map<PhysAddr, Addr> pToV;
+    /**
+     * Next free physical page base.  Starts above 4 GB so that
+     * accidentally treating a virtual address as physical (or vice
+     * versa) trips assertions instead of silently working.
+     */
+    PhysAddr nextPage = PhysAddr{4} << 30;
+};
+
+} // namespace stashsim
+
+#endif // STASHSIM_MEM_PAGE_TABLE_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * TileSpec: the global-address-space side of an AddMap mapping.
+ *
+ * AddMap (paper Section 3.1, Figure 2) maps a contiguous range of
+ * stash addresses to a possibly non-contiguous 1D/2D tile of global
+ * addresses: `numStrides` rows, each covering `rowSize` objects of
+ * `objectSize` bytes placed `strideSize` bytes apart, contributing the
+ * first `fieldSize` bytes of each object.  A scalar array is the
+ * special case fieldSize == objectSize.
+ *
+ * The forward translation (stash offset -> global address) is used on
+ * stash misses and writebacks; the reverse translation (global
+ * address -> stash offset) is used for remote requests arriving at a
+ * stash.  Both are pure arithmetic — the paper counts six ALU
+ * operations per miss.
+ */
+
+#ifndef STASHSIM_MEM_TILE_HH
+#define STASHSIM_MEM_TILE_HH
+
+#include <cstdint>
+
+#include "sim/log.hh"
+#include "sim/types.hh"
+
+namespace stashsim
+{
+
+/**
+ * Describes one mapped tile in the global address space.
+ */
+struct TileSpec
+{
+    Addr globalBase = 0;
+    std::uint32_t fieldSize = 0;  //!< bytes of each object that map
+    std::uint32_t objectSize = 0; //!< bytes per object
+    std::uint32_t rowSize = 0;    //!< objects per row
+    std::uint32_t strideSize = 0; //!< bytes between row bases
+    std::uint32_t numStrides = 1; //!< number of rows
+    bool isCoherent = true;       //!< Mapped Coherent vs Non-coherent
+
+    /** Total bytes of stash space the mapping occupies. */
+    std::uint32_t
+    mappedBytes() const
+    {
+        return fieldSize * rowSize * numStrides;
+    }
+
+    /** Number of mapped objects (elements). */
+    std::uint32_t numElements() const { return rowSize * numStrides; }
+
+    /** True when the parameters describe a well-formed tile. */
+    bool
+    wellFormed() const
+    {
+        if (fieldSize == 0 || objectSize == 0 || rowSize == 0 ||
+            numStrides == 0) {
+            return false;
+        }
+        if (fieldSize > objectSize)
+            return false;
+        if (numStrides > 1 &&
+            strideSize < std::uint64_t(rowSize) * objectSize) {
+            return false;
+        }
+        return true;
+    }
+
+    /**
+     * Forward translation: global address of stash-space byte
+     * @p offset (0 <= offset < mappedBytes()).
+     */
+    Addr
+    globalAddrOf(std::uint32_t offset) const
+    {
+        sim_assert(offset < mappedBytes());
+        const std::uint32_t elem = offset / fieldSize;
+        const std::uint32_t byte = offset % fieldSize;
+        const std::uint32_t row = elem / rowSize;
+        const std::uint32_t col = elem % rowSize;
+        return globalBase + Addr(row) * strideSize +
+               Addr(col) * objectSize + byte;
+    }
+
+    /**
+     * Reverse translation: stash-space offset of global address
+     * @p ga.
+     *
+     * @return true and sets @p offset when @p ga falls inside the
+     *         mapped field bytes of this tile; false otherwise (e.g.,
+     *         a non-mapped field of the same object).
+     */
+    bool
+    reverse(Addr ga, std::uint32_t *offset) const
+    {
+        if (ga < globalBase)
+            return false;
+        const Addr d = ga - globalBase;
+        const Addr row = numStrides > 1 ? d / strideSize : 0;
+        if (row >= numStrides)
+            return false;
+        const Addr rem = numStrides > 1 ? d % strideSize : d;
+        const Addr col = rem / objectSize;
+        const Addr byte = rem % objectSize;
+        if (col >= rowSize || byte >= fieldSize)
+            return false;
+        *offset = std::uint32_t((row * rowSize + col) * fieldSize + byte);
+        return true;
+    }
+
+    /** Structural equality; used by the replication optimization. */
+    bool
+    operator==(const TileSpec &o) const
+    {
+        return globalBase == o.globalBase && fieldSize == o.fieldSize &&
+               objectSize == o.objectSize && rowSize == o.rowSize &&
+               strideSize == o.strideSize && numStrides == o.numStrides;
+    }
+};
+
+} // namespace stashsim
+
+#endif // STASHSIM_MEM_TILE_HH

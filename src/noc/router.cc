@@ -1,0 +1,20 @@
+#include "noc/router.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace stashsim
+{
+
+Tick
+Router::reserve(Direction dir, Tick earliest, Tick duration)
+{
+    sim_assert(dir != Direction::NumDirections);
+    Tick &busy = _busyUntil[unsigned(dir)];
+    Tick start = std::max(earliest, busy);
+    busy = start + duration;
+    return busy;
+}
+
+} // namespace stashsim

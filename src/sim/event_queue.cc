@@ -1,0 +1,51 @@
+#include "sim/event_queue.hh"
+
+#include "sim/log.hh"
+
+namespace stashsim
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb, int priority)
+{
+    sim_assert(when >= _curTick);
+    sim_assert(cb);
+    events.push(ScheduledEvent{when, priority, nextSeq++, std::move(cb)});
+}
+
+std::size_t
+EventQueue::run(Tick max_tick)
+{
+    std::size_t executed = 0;
+    while (!events.empty() && events.top().when <= max_tick) {
+        // Copy out before pop: the callback may schedule new events.
+        ScheduledEvent ev = events.top();
+        events.pop();
+        _curTick = ev.when;
+        ev.cb();
+        ++executed;
+    }
+    return executed;
+}
+
+bool
+EventQueue::runOne()
+{
+    if (events.empty())
+        return false;
+    ScheduledEvent ev = events.top();
+    events.pop();
+    _curTick = ev.when;
+    ev.cb();
+    return true;
+}
+
+void
+EventQueue::reset()
+{
+    events = {};
+    _curTick = 0;
+    nextSeq = 0;
+}
+
+} // namespace stashsim

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * All timing in the simulator is driven by a single EventQueue.  A
+ * component schedules a callback at an absolute tick (or a delay from
+ * now); the queue executes callbacks in (tick, priority, insertion
+ * order) order.  Insertion order is preserved for equal (tick,
+ * priority) pairs so the simulation is deterministic.
+ */
+
+#ifndef STASHSIM_SIM_EVENT_QUEUE_HH
+#define STASHSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace stashsim
+{
+
+/**
+ * A deterministic priority queue of timed callbacks.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Default priorities; lower values run first at equal ticks. */
+    enum Priority : int
+    {
+        PriDelivery = -10, //!< message deliveries before component ticks
+        PriDefault = 0,
+        PriStats = 10, //!< end-of-phase bookkeeping after everything
+    };
+
+    /** Current simulated time. */
+    Tick curTick() const { return _curTick; }
+
+    /** Schedules @p cb to run at absolute time @p when (>= curTick). */
+    void schedule(Tick when, Callback cb, int priority = PriDefault);
+
+    /** Schedules @p cb to run @p delay ticks from now. */
+    void
+    scheduleIn(Tick delay, Callback cb, int priority = PriDefault)
+    {
+        schedule(_curTick + delay, std::move(cb), priority);
+    }
+
+    /** True when no events are pending. */
+    bool empty() const { return events.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return events.size(); }
+
+    /**
+     * Runs events until the queue drains or curTick would exceed
+     * @p max_tick.
+     *
+     * @return the number of events executed.
+     */
+    std::size_t run(Tick max_tick = std::numeric_limits<Tick>::max());
+
+    /** Executes exactly one event; returns false if queue is empty. */
+    bool runOne();
+
+    /** Drops all pending events and resets time to zero. */
+    void reset();
+
+  private:
+    struct ScheduledEvent
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const ScheduledEvent &a, const ScheduledEvent &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<ScheduledEvent, std::vector<ScheduledEvent>,
+                        Later>
+        events;
+    Tick _curTick = 0;
+    std::uint64_t nextSeq = 0;
+};
+
+/**
+ * A clock domain: converts between cycles and ticks and aligns events
+ * to clock edges.
+ */
+class Clock
+{
+  public:
+    explicit Clock(Tick period) : _period(period) {}
+
+    Tick period() const { return _period; }
+
+    /** Ticks spanned by @p cycles cycles. */
+    Tick cyclesToTicks(Cycles cycles) const { return cycles * _period; }
+
+    /** Whole cycles elapsed at @p t (floor). */
+    Cycles ticksToCycles(Tick t) const { return t / _period; }
+
+    /** The first clock edge at or after @p t. */
+    Tick
+    nextEdge(Tick t) const
+    {
+        return ((t + _period - 1) / _period) * _period;
+    }
+
+  private:
+    Tick _period;
+};
+
+} // namespace stashsim
+
+#endif // STASHSIM_SIM_EVENT_QUEUE_HH

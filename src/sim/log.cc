@@ -1,0 +1,49 @@
+#include "sim/log.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+namespace stashsim
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << "\n  at " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << "\n  at " << file << ":" << line
+              << std::endl;
+    // Throw rather than exit so tests can assert on fatal conditions.
+    throw std::runtime_error("fatal: " + msg);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::cout << "info: " << msg << std::endl;
+}
+
+bool
+tracePA(std::uint64_t pa)
+{
+    static const std::uint64_t traced = []() -> std::uint64_t {
+        const char *env = std::getenv("STASHSIM_TRACE_PA");
+        return env ? std::strtoull(env, nullptr, 16) : 0;
+    }();
+    return traced != 0 && (pa & ~std::uint64_t{63}) == traced;
+}
+
+} // namespace stashsim

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Error and diagnostic reporting, gem5-style.
+ *
+ * panic()  - an internal simulator invariant was violated (a bug in the
+ *            simulator itself); aborts.
+ * fatal()  - the simulation cannot continue because of a user error
+ *            (bad configuration, unsupported workload parameters);
+ *            exits with an error code.
+ * warn()   - something is suspicious but simulation continues.
+ * inform() - purely informational.
+ */
+
+#ifndef STASHSIM_SIM_LOG_HH
+#define STASHSIM_SIM_LOG_HH
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace stashsim
+{
+
+/** @{ Implementation helpers; use the macros below. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+/** @} */
+
+/** Builds a message string from stream-insertable parts. */
+template <typename... Args>
+std::string
+logFormat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+/**
+ * Debug tracing for one physical line address, enabled by setting the
+ * STASHSIM_TRACE_PA environment variable to a hex line address.
+ * Returns true when @p pa falls in the traced line.
+ */
+bool tracePA(std::uint64_t pa);
+
+} // namespace stashsim
+
+#define panic(...) \
+    ::stashsim::panicImpl(__FILE__, __LINE__, \
+                          ::stashsim::logFormat(__VA_ARGS__))
+
+#define fatal(...) \
+    ::stashsim::fatalImpl(__FILE__, __LINE__, \
+                          ::stashsim::logFormat(__VA_ARGS__))
+
+#define warn(...) ::stashsim::warnImpl(::stashsim::logFormat(__VA_ARGS__))
+
+#define inform(...) \
+    ::stashsim::informImpl(::stashsim::logFormat(__VA_ARGS__))
+
+/** Panics when @p cond is false; for simulator-internal invariants. */
+#define sim_assert(cond) \
+    do { \
+        if (!(cond)) \
+            panic("assertion failed: " #cond); \
+    } while (0)
+
+#endif // STASHSIM_SIM_LOG_HH

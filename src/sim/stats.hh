@@ -1,0 +1,390 @@
+/**
+ * @file
+ * Typed statistics counters for every subsystem.
+ *
+ * Each hardware component owns one of the plain counter structs below;
+ * the System driver aggregates them into a SystemStats snapshot at the
+ * end of a run.  The energy model (src/energy) turns a SystemStats into
+ * the paper's five-way dynamic-energy breakdown, and the benches print
+ * the figures directly from these counts, so every number in the
+ * reproduced tables/figures is traceable to a named counter here.
+ */
+
+#ifndef STASHSIM_SIM_STATS_HH
+#define STASHSIM_SIM_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace stashsim
+{
+
+using Counter = std::uint64_t;
+
+/** Message classes tracked by the NoC (paper Figure 5d). */
+enum class MsgClass : unsigned
+{
+    Read = 0,  //!< load requests/responses, incl. remote forwards
+    Write = 1, //!< registration (store-ownership) traffic
+    Writeback = 2,
+    NumClasses = 3
+};
+
+/** Name of a message class, for reports. */
+const char *msgClassName(MsgClass c);
+
+/** Network statistics (flit crossings per Garnet terminology). */
+struct NocStats
+{
+    std::array<Counter, 3> flitHops{}; //!< indexed by MsgClass
+    Counter packets = 0;
+
+    Counter
+    totalFlitHops() const
+    {
+        return flitHops[0] + flitHops[1] + flitHops[2];
+    }
+
+    void
+    add(const NocStats &o)
+    {
+        for (int i = 0; i < 3; ++i)
+            flitHops[i] += o.flitHops[i];
+        packets += o.packets;
+    }
+
+    void
+    sub(const NocStats &o)
+    {
+        for (int i = 0; i < 3; ++i)
+            flitHops[i] -= o.flitHops[i];
+        packets -= o.packets;
+    }
+};
+
+/** L1 cache statistics (per cache; aggregated by the driver). */
+struct CacheStats
+{
+    Counter loadHits = 0;
+    Counter loadMisses = 0;
+    Counter storeHits = 0;
+    Counter storeMisses = 0;
+    Counter hitWords = 0;  //!< lane-level (per-word) hit accesses
+    Counter missWords = 0; //!< lane-level (per-word) miss accesses
+    Counter evictions = 0;
+    Counter writebacks = 0;     //!< lines written back (had dirty words)
+    Counter wordsWrittenBack = 0;
+    Counter tlbAccesses = 0;
+    Counter remoteHits = 0;     //!< forwarded requests served by this L1
+    Counter selfInvalidations = 0; //!< words dropped at kernel bounds
+
+    Counter hits() const { return loadHits + storeHits; }
+    Counter misses() const { return loadMisses + storeMisses; }
+    Counter accesses() const { return hits() + misses(); }
+
+    void
+    add(const CacheStats &o)
+    {
+        loadHits += o.loadHits;
+        loadMisses += o.loadMisses;
+        storeHits += o.storeHits;
+        storeMisses += o.storeMisses;
+        hitWords += o.hitWords;
+        missWords += o.missWords;
+        evictions += o.evictions;
+        writebacks += o.writebacks;
+        wordsWrittenBack += o.wordsWrittenBack;
+        tlbAccesses += o.tlbAccesses;
+        remoteHits += o.remoteHits;
+        selfInvalidations += o.selfInvalidations;
+    }
+
+    void
+    sub(const CacheStats &o)
+    {
+        loadHits -= o.loadHits;
+        loadMisses -= o.loadMisses;
+        storeHits -= o.storeHits;
+        storeMisses -= o.storeMisses;
+        hitWords -= o.hitWords;
+        missWords -= o.missWords;
+        evictions -= o.evictions;
+        writebacks -= o.writebacks;
+        wordsWrittenBack -= o.wordsWrittenBack;
+        tlbAccesses -= o.tlbAccesses;
+        remoteHits -= o.remoteHits;
+        selfInvalidations -= o.selfInvalidations;
+    }
+};
+
+/** Scratchpad statistics. */
+struct ScratchpadStats
+{
+    Counter reads = 0;
+    Counter writes = 0;
+
+    Counter accesses() const { return reads + writes; }
+
+    void
+    add(const ScratchpadStats &o)
+    {
+        reads += o.reads;
+        writes += o.writes;
+    }
+
+    void
+    sub(const ScratchpadStats &o)
+    {
+        reads -= o.reads;
+        writes -= o.writes;
+    }
+};
+
+/** Stash statistics (per stash; aggregated by the driver). */
+struct StashStats
+{
+    Counter loadHits = 0;
+    Counter loadMisses = 0;
+    Counter storeHits = 0;      //!< stores to already-registered words
+    Counter storeMisses = 0;    //!< stores needing registration
+    Counter hitWords = 0;  //!< lane-level (per-word) hit accesses
+    Counter missWords = 0; //!< lane-level (per-word) miss accesses
+    Counter translations = 0;   //!< stash->global translations performed
+    Counter vpMapAccesses = 0;  //!< TLB/RTLB lookups in the VP-map
+    Counter addMaps = 0;
+    Counter chgMaps = 0;
+    Counter lazyWritebackChunks = 0;
+    Counter wordsWrittenBack = 0;
+    Counter remoteHits = 0;     //!< remote requests served by this stash
+    Counter replicationHits = 0; //!< misses avoided by the reuse opt
+    Counter selfInvalidations = 0;
+    Counter mapReplacementStalls = 0; //!< blocking map-entry writebacks
+    Counter vpMapOverflows = 0; //!< live mappings exceeded VP capacity
+
+    Counter hits() const { return loadHits + storeHits; }
+    Counter misses() const { return loadMisses + storeMisses; }
+    Counter accesses() const { return hits() + misses(); }
+
+    void
+    add(const StashStats &o)
+    {
+        loadHits += o.loadHits;
+        loadMisses += o.loadMisses;
+        storeHits += o.storeHits;
+        storeMisses += o.storeMisses;
+        hitWords += o.hitWords;
+        missWords += o.missWords;
+        translations += o.translations;
+        vpMapAccesses += o.vpMapAccesses;
+        addMaps += o.addMaps;
+        chgMaps += o.chgMaps;
+        lazyWritebackChunks += o.lazyWritebackChunks;
+        wordsWrittenBack += o.wordsWrittenBack;
+        remoteHits += o.remoteHits;
+        replicationHits += o.replicationHits;
+        selfInvalidations += o.selfInvalidations;
+        mapReplacementStalls += o.mapReplacementStalls;
+        vpMapOverflows += o.vpMapOverflows;
+    }
+
+    void
+    sub(const StashStats &o)
+    {
+        loadHits -= o.loadHits;
+        loadMisses -= o.loadMisses;
+        storeHits -= o.storeHits;
+        storeMisses -= o.storeMisses;
+        hitWords -= o.hitWords;
+        missWords -= o.missWords;
+        translations -= o.translations;
+        vpMapAccesses -= o.vpMapAccesses;
+        addMaps -= o.addMaps;
+        chgMaps -= o.chgMaps;
+        lazyWritebackChunks -= o.lazyWritebackChunks;
+        wordsWrittenBack -= o.wordsWrittenBack;
+        remoteHits -= o.remoteHits;
+        replicationHits -= o.replicationHits;
+        selfInvalidations -= o.selfInvalidations;
+        mapReplacementStalls -= o.mapReplacementStalls;
+        vpMapOverflows -= o.vpMapOverflows;
+    }
+};
+
+/** LLC (shared L2) statistics. */
+struct LlcStats
+{
+    Counter reads = 0;          //!< read requests served
+    Counter registrations = 0;  //!< words registered
+    Counter writebacksRecv = 0; //!< writeback words absorbed
+    Counter remoteForwards = 0; //!< requests forwarded to an owner
+    Counter invalidationsSent = 0;
+    Counter fills = 0;          //!< lines fetched from memory
+    Counter memWrites = 0;      //!< dirty lines evicted to memory
+    Counter recalls = 0;        //!< registered lines recalled on evict
+    Counter accesses = 0;       //!< total data-array accesses
+
+    void
+    add(const LlcStats &o)
+    {
+        reads += o.reads;
+        registrations += o.registrations;
+        writebacksRecv += o.writebacksRecv;
+        remoteForwards += o.remoteForwards;
+        invalidationsSent += o.invalidationsSent;
+        fills += o.fills;
+        memWrites += o.memWrites;
+        recalls += o.recalls;
+        accesses += o.accesses;
+    }
+
+    void
+    sub(const LlcStats &o)
+    {
+        reads -= o.reads;
+        registrations -= o.registrations;
+        writebacksRecv -= o.writebacksRecv;
+        remoteForwards -= o.remoteForwards;
+        invalidationsSent -= o.invalidationsSent;
+        fills -= o.fills;
+        memWrites -= o.memWrites;
+        recalls -= o.recalls;
+        accesses -= o.accesses;
+    }
+};
+
+/** DMA engine statistics (ScratchGD configuration). */
+struct DmaStats
+{
+    Counter transfers = 0;
+    Counter wordsLoaded = 0;
+    Counter wordsStored = 0;
+
+    void
+    add(const DmaStats &o)
+    {
+        transfers += o.transfers;
+        wordsLoaded += o.wordsLoaded;
+        wordsStored += o.wordsStored;
+    }
+
+    void
+    sub(const DmaStats &o)
+    {
+        transfers -= o.transfers;
+        wordsLoaded -= o.wordsLoaded;
+        wordsStored -= o.wordsStored;
+    }
+};
+
+/** GPU compute-unit statistics. */
+struct GpuStats
+{
+    Counter instructions = 0;   //!< warp instructions issued
+    Counter computeOps = 0;
+    Counter globalLoads = 0;
+    Counter globalStores = 0;
+    Counter localLoads = 0;     //!< scratchpad or stash loads
+    Counter localStores = 0;
+    Counter barriers = 0;
+    Counter idleCycles = 0;     //!< cycles with no warp ready
+    Counter threadBlocks = 0;
+    Counter kernels = 0;
+
+    void
+    add(const GpuStats &o)
+    {
+        instructions += o.instructions;
+        computeOps += o.computeOps;
+        globalLoads += o.globalLoads;
+        globalStores += o.globalStores;
+        localLoads += o.localLoads;
+        localStores += o.localStores;
+        barriers += o.barriers;
+        idleCycles += o.idleCycles;
+        threadBlocks += o.threadBlocks;
+        kernels += o.kernels;
+    }
+
+    void
+    sub(const GpuStats &o)
+    {
+        instructions -= o.instructions;
+        computeOps -= o.computeOps;
+        globalLoads -= o.globalLoads;
+        globalStores -= o.globalStores;
+        localLoads -= o.localLoads;
+        localStores -= o.localStores;
+        barriers -= o.barriers;
+        idleCycles -= o.idleCycles;
+        threadBlocks -= o.threadBlocks;
+        kernels -= o.kernels;
+    }
+};
+
+/** CPU core statistics. */
+struct CpuStats
+{
+    Counter loads = 0;
+    Counter stores = 0;
+
+    void
+    add(const CpuStats &o)
+    {
+        loads += o.loads;
+        stores += o.stores;
+    }
+
+    void
+    sub(const CpuStats &o)
+    {
+        loads -= o.loads;
+        stores -= o.stores;
+    }
+};
+
+/** Aggregated snapshot of every counter in the system. */
+struct SystemStats
+{
+    GpuStats gpu;
+    CpuStats cpu;
+    CacheStats gpuL1;   //!< all GPU L1s
+    CacheStats cpuL1;   //!< all CPU L1s
+    ScratchpadStats scratch;
+    StashStats stash;
+    LlcStats llc;
+    NocStats noc;
+    DmaStats dma;
+    Cycles gpuCycles = 0; //!< end-to-end run length in GPU cycles
+    Counter numGpuCus = 0; //!< CUs in the system (not subtracted)
+
+    /**
+     * Subtracts a baseline snapshot (all counters are monotonic), so
+     * a measurement window can exclude warm-up phases.
+     */
+    void
+    sub(const SystemStats &o)
+    {
+        gpu.sub(o.gpu);
+        cpu.sub(o.cpu);
+        gpuL1.sub(o.gpuL1);
+        cpuL1.sub(o.cpuL1);
+        scratch.sub(o.scratch);
+        stash.sub(o.stash);
+        llc.sub(o.llc);
+        noc.sub(o.noc);
+        dma.sub(o.dma);
+        gpuCycles -= o.gpuCycles;
+        // numGpuCus is structural, not a counter.
+    }
+
+    /** Flattens every counter into a name->value map for reports. */
+    std::map<std::string, double> flatten() const;
+};
+
+} // namespace stashsim
+
+#endif // STASHSIM_SIM_STATS_HH

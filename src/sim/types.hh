@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fundamental simulator-wide type aliases and geometry constants.
+ *
+ * The simulated system reproduces Table 2 of the Stash paper (ISCA'15):
+ * a tightly integrated CPU-GPU chip with a 4x4 mesh, 2 GHz CPU cores and
+ * 700 MHz GPU compute units.  Time is measured in abstract ticks chosen
+ * so that both clock periods are exact integers: with 14e9 ticks per
+ * second, a 2 GHz CPU cycle is 7 ticks and a 700 MHz GPU cycle is 20
+ * ticks.
+ */
+
+#ifndef STASHSIM_SIM_TYPES_HH
+#define STASHSIM_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace stashsim
+{
+
+/** Simulated time in ticks (1 tick = 1/14e9 s). */
+using Tick = std::uint64_t;
+
+/** A count of clock cycles in some clock domain. */
+using Cycles = std::uint64_t;
+
+/** Ticks per simulated second (14 GHz tick rate; see file comment). */
+constexpr Tick ticksPerSecond = 14ull * 1000 * 1000 * 1000;
+
+/** Clock period of a 2 GHz CPU core, in ticks. */
+constexpr Tick cpuClockPeriod = 7;
+
+/** Clock period of a 700 MHz GPU CU (and the uncore), in ticks. */
+constexpr Tick gpuClockPeriod = 20;
+
+/** A global virtual address. */
+using Addr = std::uint64_t;
+
+/** A physical address. */
+using PhysAddr = std::uint64_t;
+
+/** An address local to one stash or scratchpad (byte offset). */
+using LocalAddr = std::uint32_t;
+
+/** Identifies a node on the mesh (CPU core, GPU CU, or L2 bank). */
+using NodeId = std::uint32_t;
+
+/** Identifies a core (CPU or GPU CU) for coherence registration. */
+using CoreId = std::uint32_t;
+
+/** Sentinel for "no core". */
+constexpr CoreId invalidCore = ~CoreId{0};
+
+/** Bytes per machine word; coherence state is kept per word. */
+constexpr unsigned wordBytes = 4;
+
+/** Bytes per cache line. */
+constexpr unsigned lineBytes = 64;
+
+/** Words per cache line. */
+constexpr unsigned wordsPerLine = lineBytes / wordBytes;
+
+/** Bytes per virtual-memory page. */
+constexpr unsigned pageBytes = 4096;
+
+/** Bytes per network flit (Garnet-style 128-bit flits). */
+constexpr unsigned flitBytes = 16;
+
+/** Returns the line-aligned base of @p a. */
+constexpr Addr lineBase(Addr a) { return a & ~Addr{lineBytes - 1}; }
+
+/** Returns the word index of @p a within its cache line. */
+constexpr unsigned lineWord(Addr a)
+{
+    return unsigned((a / wordBytes) % wordsPerLine);
+}
+
+/** Returns the page-aligned base of @p a. */
+constexpr Addr pageBase(Addr a) { return a & ~Addr{pageBytes - 1}; }
+
+/** Returns the word-aligned base of @p a. */
+constexpr Addr wordBase(Addr a) { return a & ~Addr{wordBytes - 1}; }
+
+} // namespace stashsim
+
+#endif // STASHSIM_SIM_TYPES_HH

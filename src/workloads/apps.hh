@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The seven GPU applications of the paper's evaluation
+ * (Section 5.4.2): LUD, Backprop (BP), NW and Pathfinder (PF) from
+ * Rodinia; SGEMM and Stencil from Parboil; and SURF from the OpenSURF
+ * computer-vision suite — at the paper's input sizes.
+ *
+ * We model each application as its kernels' memory-access structure:
+ * the same tiling, the same scratchpad staging the original CUDA code
+ * performs, the same global access mix, and the same kernel sequence,
+ * generated against the portable TbBuilder so each lowers to all six
+ * memory configurations exactly as the paper's hand-modified sources
+ * did (unified address space, AddMap calls for stash, DMA descriptors
+ * for ScratchGD, and so on).  All applications run with 15 CUs and
+ * 1 CPU core (Table 2) and perform a token amount of CPU work.
+ */
+
+#ifndef STASHSIM_WORKLOADS_APPS_HH
+#define STASHSIM_WORKLOADS_APPS_HH
+
+#include <string>
+#include <vector>
+
+#include "config/system_config.hh"
+#include "workloads/workload.hh"
+
+namespace stashsim
+{
+namespace workloads
+{
+
+/** Application sizing; defaults are the paper's inputs. */
+struct AppConfig
+{
+    MemOrg org = MemOrg::Scratch;
+    unsigned cpuCores = 1;
+
+    unsigned ludN = 256;        //!< LUD: 256x256 matrix
+    unsigned ludTile = 16;      //!< 16x16 blocks
+
+    unsigned bpInputBytes = 32 * 1024; //!< Backprop: 32 KB layer
+    unsigned bpHidden = 16;
+
+    unsigned nwN = 512;         //!< NW: 512x512
+    unsigned nwTile = 16;
+
+    unsigned pfCols = 99840;    //!< Pathfinder: 10 x ~100K (390 blocks)
+    unsigned pfRows = 10;
+
+    unsigned sgemmM = 128;      //!< SGEMM: A 128x96, B 96x160
+    unsigned sgemmK = 96;
+    unsigned sgemmN = 160;
+    unsigned sgemmTile = 16;
+
+    unsigned stencilX = 128;    //!< Stencil: 128x128x4, 4 iterations
+    unsigned stencilY = 128;
+    unsigned stencilZ = 4;
+    unsigned stencilIters = 4;
+
+    unsigned surfPixels = 66 * 1024 / 4; //!< SURF: 66 KB image
+};
+
+Workload makeLud(const AppConfig &cfg);
+Workload makeBackprop(const AppConfig &cfg);
+Workload makeNw(const AppConfig &cfg);
+Workload makePathfinder(const AppConfig &cfg);
+Workload makeSgemm(const AppConfig &cfg);
+Workload makeStencil(const AppConfig &cfg);
+Workload makeSurf(const AppConfig &cfg);
+
+/** Names in the paper's Figure 6 order. */
+std::vector<std::string> applicationNames();
+
+/** Factory by name. */
+Workload makeApplication(const std::string &name, const AppConfig &cfg);
+
+} // namespace workloads
+} // namespace stashsim
+
+#endif // STASHSIM_WORKLOADS_APPS_HH

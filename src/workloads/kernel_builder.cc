@@ -1,0 +1,293 @@
+#include "workloads/kernel_builder.hh"
+
+#include "sim/log.hh"
+
+namespace stashsim
+{
+
+TbBuilder::TbBuilder(MemOrg org, unsigned num_warps, unsigned warp_size)
+    : org(org), numWarps(num_warps), warpSize(warp_size),
+      body(num_warps)
+{
+    sim_assert(num_warps > 0);
+}
+
+bool
+TbBuilder::staged(unsigned t) const
+{
+    const TileUse &use = tiles.at(t);
+    if (org == MemOrg::Cache)
+        return false;
+    if (use.temporary)
+        return true;
+    if (!use.originallyGlobal)
+        return true;
+    if (!use.convertible)
+        return false;
+    // Originally-global data is staged only by the "G" variants.
+    return org == MemOrg::ScratchG || org == MemOrg::ScratchGD ||
+           org == MemOrg::StashG;
+}
+
+OpKind
+TbBuilder::localLoadKind() const
+{
+    return usesStash(org) ? OpKind::StashLd : OpKind::LocalLd;
+}
+
+OpKind
+TbBuilder::localStoreKind() const
+{
+    return usesStash(org) ? OpKind::StashSt : OpKind::LocalSt;
+}
+
+unsigned
+TbBuilder::addTile(const TileUse &use)
+{
+    sim_assert(use.tile.wellFormed());
+    tiles.push_back(use);
+    currentTile.push_back(use.tile);
+    const unsigned t = unsigned(tiles.size() - 1);
+
+    std::uint8_t slot = 0xff;
+    if (staged(t)) {
+        localBytes = std::max(
+            localBytes, use.localOffset + use.tile.mappedBytes());
+        if (usesStash(org) && !use.temporary) {
+            sim_assert(nextMapSlot < 4); // Table 2: 4 maps per block
+            slot = nextMapSlot++;
+        }
+    }
+    mapSlot.push_back(slot);
+    return t;
+}
+
+void
+TbBuilder::compute(unsigned warp, std::uint16_t cycles,
+                   std::int32_t acc_delta)
+{
+    body.at(warp).push_back(computeOp(cycles, acc_delta));
+}
+
+void
+TbBuilder::accessTile(unsigned warp, unsigned t,
+                      const std::vector<std::uint32_t> &elems,
+                      bool is_store, bool store_acc,
+                      std::uint32_t value, unsigned word)
+{
+    sim_assert(!elems.empty() && elems.size() <= warpSize);
+    const TileUse &use = tiles.at(t);
+
+    if (staged(t)) {
+        // Direct local addressing: no index-computation instruction.
+        std::vector<Addr> addrs;
+        addrs.reserve(elems.size());
+        for (std::uint32_t e : elems) {
+            addrs.push_back(Addr(use.localOffset) +
+                            Addr(e) * use.tile.fieldSize +
+                            Addr(word) * wordBytes);
+        }
+        const OpKind kind = is_store ? localStoreKind()
+                                     : localLoadKind();
+        WarpOp op = memOp(kind, std::move(addrs), mapSlot[t]);
+        op.storeAcc = store_acc;
+        op.value = value;
+        body.at(warp).push_back(std::move(op));
+        return;
+    }
+
+    // Global access: the core computes the (AoS) address itself.
+    body.at(warp).push_back(computeOp(1));
+    const TileSpec &cur = currentTile.at(t);
+    std::vector<Addr> addrs;
+    addrs.reserve(elems.size());
+    for (std::uint32_t e : elems) {
+        addrs.push_back(cur.globalAddrOf(
+            e * cur.fieldSize + word * wordBytes));
+    }
+    const OpKind kind = is_store ? OpKind::GlobalSt : OpKind::GlobalLd;
+    WarpOp op = memOp(kind, std::move(addrs));
+    op.storeAcc = store_acc;
+    op.value = value;
+    body.at(warp).push_back(std::move(op));
+}
+
+void
+TbBuilder::barrier()
+{
+    for (auto &w : body)
+        w.push_back(barrierOp());
+}
+
+void
+TbBuilder::restage(unsigned t, const TileSpec &new_tile)
+{
+    const TileUse &use = tiles.at(t);
+    sim_assert(!use.writeOut && !use.temporary);
+    currentTile.at(t) = new_tile;
+    if (!staged(t))
+        return; // cache path: only the addresses change
+
+    barrier();
+    switch (org) {
+      case MemOrg::Scratch:
+      case MemOrg::ScratchG: {
+        TileUse tmp = use;
+        tmp.tile = new_tile;
+        emitCopyLoop(body, tmp, true);
+        break;
+      }
+      case MemOrg::ScratchGD: {
+        WarpOp op;
+        op.kind = OpKind::DmaXfer;
+        op.tile = new_tile;
+        op.localOffset = use.localOffset;
+        op.dmaStore = false;
+        body.at(0).push_back(std::move(op));
+        break;
+      }
+      case MemOrg::Stash:
+      case MemOrg::StashG: {
+        WarpOp op;
+        op.kind = OpKind::Remap;
+        op.mapSlot = mapSlot.at(t);
+        op.tile = new_tile;
+        op.localOffset = use.localOffset;
+        body.at(0).push_back(std::move(op));
+        break;
+      }
+      case MemOrg::Cache:
+        break;
+    }
+    barrier();
+}
+
+void
+TbBuilder::emitCopyLoop(std::vector<std::vector<WarpOp>> &streams,
+                        const TileUse &use, bool copy_in)
+{
+    // Elements are divided contiguously among the warps; each loop
+    // iteration moves one element per lane: index arithmetic, a
+    // global access, and a local access (Figure 1a's two explicit
+    // parallel-for loops).
+    const std::uint32_t n = use.tile.numElements();
+    const std::uint32_t per_warp = (n + numWarps - 1) / numWarps;
+    const std::uint32_t field_words = use.tile.fieldSize / wordBytes;
+
+    for (unsigned w = 0; w < numWarps; ++w) {
+        const std::uint32_t begin = w * per_warp;
+        const std::uint32_t end = std::min(n, begin + per_warp);
+        for (std::uint32_t e = begin; e < end; e += warpSize) {
+            const std::uint32_t lanes = std::min<std::uint32_t>(
+                warpSize, end - e);
+            for (std::uint32_t fw = 0; fw < field_words; ++fw) {
+                std::vector<Addr> global_addrs, local_addrs;
+                global_addrs.reserve(lanes);
+                local_addrs.reserve(lanes);
+                for (std::uint32_t l = 0; l < lanes; ++l) {
+                    const std::uint32_t off =
+                        (e + l) * use.tile.fieldSize + fw * wordBytes;
+                    global_addrs.push_back(use.tile.globalAddrOf(off));
+                    local_addrs.push_back(Addr(use.localOffset) + off);
+                }
+                streams[w].push_back(computeOp(1)); // index arithmetic
+                if (copy_in) {
+                    streams[w].push_back(memOp(
+                        OpKind::GlobalLd, std::move(global_addrs)));
+                    streams[w].push_back(storeAccOp(
+                        localStoreKind(), std::move(local_addrs),
+                        0xff));
+                } else {
+                    streams[w].push_back(memOp(localLoadKind(),
+                                               std::move(local_addrs),
+                                               0xff));
+                    streams[w].push_back(storeAccOp(
+                        OpKind::GlobalSt, std::move(global_addrs)));
+                }
+            }
+        }
+    }
+}
+
+ThreadBlock
+TbBuilder::build()
+{
+    ThreadBlock tb;
+    tb.localBytes = localBytes;
+
+    std::vector<std::vector<WarpOp>> prologue(numWarps);
+    std::vector<std::vector<WarpOp>> epilogue(numWarps);
+    bool has_prologue = false;
+    bool has_epilogue = false;
+
+    for (unsigned t = 0; t < tiles.size(); ++t) {
+        const TileUse &use = tiles[t];
+        if (!staged(t) || use.temporary)
+            continue;
+
+        switch (org) {
+          case MemOrg::Scratch:
+          case MemOrg::ScratchG:
+            if (use.readIn) {
+                emitCopyLoop(prologue, use, true);
+                has_prologue = true;
+            }
+            if (use.writeOut) {
+                emitCopyLoop(epilogue, use, false);
+                has_epilogue = true;
+            }
+            break;
+          case MemOrg::ScratchGD:
+            if (use.readIn) {
+                tb.dmaLoads.push_back(DmaOp{use.localOffset, use.tile});
+                has_prologue = true;
+            }
+            if (use.writeOut)
+                tb.dmaStores.push_back(
+                    DmaOp{use.localOffset, use.tile});
+            break;
+          case MemOrg::Stash:
+          case MemOrg::StashG:
+            tb.addMaps.push_back(AddMapOp{use.localOffset, use.tile});
+            break;
+          case MemOrg::Cache:
+            break;
+        }
+    }
+
+    // Assemble per-warp streams: copy-in prologue / barrier / body /
+    // barrier / copy-out epilogue.
+    tb.warps.resize(numWarps);
+    const bool scratch_loops =
+        org == MemOrg::Scratch || org == MemOrg::ScratchG;
+    for (unsigned w = 0; w < numWarps; ++w) {
+        auto &s = tb.warps[w];
+        if (scratch_loops && has_prologue) {
+            s.insert(s.end(), prologue[w].begin(), prologue[w].end());
+            s.push_back(barrierOp());
+        }
+        s.insert(s.end(), body[w].begin(), body[w].end());
+        if (scratch_loops && has_epilogue) {
+            s.push_back(barrierOp());
+            s.insert(s.end(), epilogue[w].begin(), epilogue[w].end());
+        }
+        if (s.empty())
+            s.push_back(computeOp(1));
+        // A warp must not end on a barrier (CU invariant).
+        if (s.back().kind == OpKind::Barrier)
+            s.push_back(computeOp(1));
+    }
+    return tb;
+}
+
+std::vector<std::uint32_t>
+laneElems(std::uint32_t first, std::uint32_t count, std::uint32_t stride)
+{
+    std::vector<std::uint32_t> v;
+    v.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i)
+        v.push_back(first + i * stride);
+    return v;
+}
+
+} // namespace stashsim

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the stash-map circular buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/stash_map.hh"
+
+namespace stashsim
+{
+namespace
+{
+
+TileSpec
+tileAt(Addr base)
+{
+    TileSpec t;
+    t.globalBase = base;
+    t.fieldSize = 4;
+    t.objectSize = 64;
+    t.rowSize = 128;
+    t.strideSize = 0;
+    t.numStrides = 1;
+    return t;
+}
+
+TEST(StashMapTest, AllocatesInFifoOrder)
+{
+    StashMap m(8);
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_EQ(m.advanceTail(), MapIndex(i));
+    // Wraps back to the start.
+    EXPECT_EQ(m.advanceTail(), MapIndex(0));
+}
+
+TEST(StashMapTest, SkipsPinnedEntriesOnWrap)
+{
+    StashMap m(4);
+    for (unsigned i = 0; i < 4; ++i) {
+        const MapIndex idx = m.advanceTail();
+        m.entry(idx).valid = true;
+        m.entry(idx).pinned = (idx == 1); // entry 1 stays live
+    }
+    EXPECT_EQ(m.advanceTail(), MapIndex(0));
+    EXPECT_EQ(m.advanceTail(), MapIndex(2)); // 1 skipped
+    EXPECT_EQ(m.advanceTail(), MapIndex(3));
+}
+
+TEST(StashMapTest, AllPinnedIsFatal)
+{
+    StashMap m(2);
+    for (unsigned i = 0; i < 2; ++i) {
+        const MapIndex idx = m.advanceTail();
+        m.entry(idx).pinned = true;
+    }
+    EXPECT_THROW(m.advanceTail(), std::runtime_error);
+}
+
+TEST(StashMapTest, FindMatchReturnsNewestFirst)
+{
+    StashMap m(8);
+    const TileSpec tile = tileAt(0x1000);
+
+    const MapIndex a = m.advanceTail();
+    m.entry(a).valid = true;
+    m.entry(a).tile = tile;
+    m.entry(a).stashBase = 0;
+
+    const MapIndex b = m.advanceTail();
+    m.entry(b).valid = true;
+    m.entry(b).tile = tile;
+    m.entry(b).stashBase = 1024;
+
+    auto match = m.findMatch(tile);
+    ASSERT_TRUE(match.has_value());
+    EXPECT_EQ(*match, b); // the fresher replica wins
+}
+
+TEST(StashMapTest, FindMatchIgnoresInvalidAndForeignTiles)
+{
+    StashMap m(8);
+    const MapIndex a = m.advanceTail();
+    m.entry(a).valid = false;
+    m.entry(a).tile = tileAt(0x1000);
+    EXPECT_FALSE(m.findMatch(tileAt(0x1000)).has_value());
+    EXPECT_FALSE(m.findMatch(tileAt(0x2000)).has_value());
+}
+
+TEST(StashMapTest, NumValidCounts)
+{
+    StashMap m(8);
+    EXPECT_EQ(m.numValid(), 0u);
+    m.entry(m.advanceTail()).valid = true;
+    m.entry(m.advanceTail()).valid = true;
+    EXPECT_EQ(m.numValid(), 2u);
+}
+
+} // namespace
+} // namespace stashsim

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the VP-map (stash TLB + RTLB).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/vp_map.hh"
+
+namespace stashsim
+{
+namespace
+{
+
+TEST(VpMapTest, InstallThenTranslate)
+{
+    PageTable pt;
+    VpMap vp(pt, 64);
+    vp.install(0x10000, 3);
+    const PhysAddr pa = vp.translate(0x10004, 3);
+    EXPECT_EQ(pa, pt.translate(0x10004));
+}
+
+TEST(VpMapTest, ReverseInvertsTranslate)
+{
+    PageTable pt;
+    VpMap vp(pt, 64);
+    vp.install(0x20000, 1);
+    const PhysAddr pa = vp.translate(0x20040, 1);
+    Addr va = 0;
+    ASSERT_TRUE(vp.reverse(pa, &va));
+    EXPECT_EQ(va, 0x20040u);
+}
+
+TEST(VpMapTest, ReverseMissesForUninstalledPages)
+{
+    PageTable pt;
+    VpMap vp(pt, 64);
+    const PhysAddr pa = pt.translate(0x30000);
+    Addr va;
+    EXPECT_FALSE(vp.reverse(pa, &va));
+}
+
+TEST(VpMapTest, MissInstallsOnDemand)
+{
+    // Section 4.2: a translation absent at AddMap time is acquired
+    // at the subsequent stash miss.
+    PageTable pt;
+    VpMap vp(pt, 64);
+    const PhysAddr pa = vp.translate(0x40008, 5);
+    EXPECT_EQ(pa, pt.translate(0x40008));
+    Addr va;
+    EXPECT_TRUE(vp.reverse(pa, &va)); // now also in the RTLB
+}
+
+TEST(VpMapTest, ReleaseDropsOnlyBackpointedEntries)
+{
+    PageTable pt;
+    VpMap vp(pt, 64);
+    vp.install(0x10000, 1);
+    vp.install(0x20000, 2);
+    vp.release(1);
+    Addr va;
+    EXPECT_FALSE(vp.reverse(pt.translate(0x10000), &va));
+    EXPECT_TRUE(vp.reverse(pt.translate(0x20000), &va));
+}
+
+TEST(VpMapTest, ReinstallRefreshesBackpointer)
+{
+    // A newer mapping takes over the translation; releasing the old
+    // mapping must not kill it (the paper's "latest stash-map entry
+    // that requires the translation").
+    PageTable pt;
+    VpMap vp(pt, 64);
+    vp.install(0x10000, 1);
+    vp.install(0x10000, 2);
+    vp.release(1);
+    Addr va;
+    EXPECT_TRUE(vp.reverse(pt.translate(0x10000), &va));
+    vp.release(2);
+    EXPECT_FALSE(vp.reverse(pt.translate(0x10000), &va));
+}
+
+TEST(VpMapTest, CapacityReporting)
+{
+    PageTable pt;
+    VpMap vp(pt, 4);
+    for (unsigned i = 0; i < 4; ++i)
+        vp.install(Addr(i) * pageBytes, 0);
+    EXPECT_TRUE(vp.full());
+    EXPECT_TRUE(vp.contains(0));
+    EXPECT_FALSE(vp.contains(5 * pageBytes));
+    EXPECT_EQ(vp.size(), 4u);
+}
+
+TEST(VpMapTest, CountsAccesses)
+{
+    PageTable pt;
+    VpMap vp(pt, 64);
+    vp.install(0x10000, 0);
+    vp.translate(0x10000, 0);
+    Addr va;
+    vp.reverse(pt.translate(0x10000), &va);
+    EXPECT_EQ(vp.accesses(), 2u);
+}
+
+} // namespace
+} // namespace stashsim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Unit tests for the functional backing store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/main_memory.hh"
+
+namespace stashsim
+{
+namespace
+{
+
+TEST(MainMemoryTest, ReadsZeroBeforeFirstWrite)
+{
+    MainMemory mem;
+    EXPECT_EQ(mem.readWord(0x1000), 0u);
+    LineData d = mem.readLine(0x1000 & ~PhysAddr{63});
+    for (unsigned w = 0; w < wordsPerLine; ++w)
+        EXPECT_EQ(d.w[w], 0u);
+}
+
+TEST(MainMemoryTest, WordWriteReadRoundTrip)
+{
+    MainMemory mem;
+    mem.writeWord(0x2004, 0xdeadbeef);
+    EXPECT_EQ(mem.readWord(0x2004), 0xdeadbeefu);
+    EXPECT_EQ(mem.readWord(0x2000), 0u);
+}
+
+TEST(MainMemoryTest, MaskedLineWritePreservesOtherWords)
+{
+    MainMemory mem;
+    mem.writeWord(0x3000, 111);
+    LineData d;
+    d.w[1] = 222;
+    d.w[3] = 333;
+    mem.writeLine(0x3000, wordBit(1) | wordBit(3), d);
+    EXPECT_EQ(mem.readWord(0x3000), 111u);
+    EXPECT_EQ(mem.readWord(0x3004), 222u);
+    EXPECT_EQ(mem.readWord(0x3008), 0u);
+    EXPECT_EQ(mem.readWord(0x300c), 333u);
+}
+
+TEST(MainMemoryTest, SparseLinesTracked)
+{
+    MainMemory mem;
+    mem.writeWord(0x0, 1);
+    mem.writeWord(0x40, 2);
+    mem.writeWord(0x44, 3);
+    EXPECT_EQ(mem.linesTouched(), 2u);
+}
+
+TEST(MainMemoryTest, LineHelpersAgree)
+{
+    EXPECT_EQ(lineBase(0x12345), 0x12340u);
+    EXPECT_EQ(lineWord(0x12344), 1u);
+    EXPECT_EQ(wordBase(0x12346), 0x12344u);
+    EXPECT_EQ(pageBase(0x12345), 0x12000u);
+}
+
+} // namespace
+} // namespace stashsim

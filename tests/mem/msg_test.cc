@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for coherence message metadata: sizes and traffic
+ * classes (the accounting behind Figure 5d).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/coherence/denovo.hh"
+#include "mem/coherence/msg.hh"
+
+namespace stashsim
+{
+namespace
+{
+
+Msg
+makeMsg(MsgType t, WordMask mask)
+{
+    Msg m;
+    m.type = t;
+    m.mask = mask;
+    return m;
+}
+
+TEST(MsgTest, ControlMessagesAreHeaderOnly)
+{
+    for (MsgType t : {MsgType::ReadReq, MsgType::RegReq,
+                      MsgType::RegAck, MsgType::InvReq, MsgType::WbAck,
+                      MsgType::FwdReadReq, MsgType::FwdRetry,
+                      MsgType::DmaReadReq, MsgType::DmaWriteAck}) {
+        EXPECT_EQ(msgBytes(makeMsg(t, fullLineMask)), 8u)
+            << msgTypeName(t);
+    }
+}
+
+TEST(MsgTest, DataMessagesScaleWithWordCount)
+{
+    // Partial-line transfers are the stash's compactness story: a
+    // one-word response is 12 bytes, a full line 72.
+    EXPECT_EQ(msgBytes(makeMsg(MsgType::ReadResp, wordBit(3))), 12u);
+    EXPECT_EQ(msgBytes(makeMsg(MsgType::ReadResp, fullLineMask)),
+              8u + 64u);
+    EXPECT_EQ(msgBytes(makeMsg(MsgType::WbReq, 0x00ff)), 8u + 32u);
+    EXPECT_EQ(msgBytes(makeMsg(MsgType::DmaWriteReq, 0x0003)), 16u);
+}
+
+TEST(MsgTest, TrafficClassesMatchFigure5d)
+{
+    EXPECT_EQ(msgClassOf(MsgType::ReadReq), MsgClass::Read);
+    EXPECT_EQ(msgClassOf(MsgType::ReadResp), MsgClass::Read);
+    EXPECT_EQ(msgClassOf(MsgType::FwdReadReq), MsgClass::Read);
+    EXPECT_EQ(msgClassOf(MsgType::DmaReadResp), MsgClass::Read);
+    EXPECT_EQ(msgClassOf(MsgType::RegReq), MsgClass::Write);
+    EXPECT_EQ(msgClassOf(MsgType::RegAck), MsgClass::Write);
+    EXPECT_EQ(msgClassOf(MsgType::InvReq), MsgClass::Write);
+    EXPECT_EQ(msgClassOf(MsgType::WbReq), MsgClass::Writeback);
+    EXPECT_EQ(msgClassOf(MsgType::WbAck), MsgClass::Writeback);
+    EXPECT_EQ(msgClassOf(MsgType::DmaWriteReq), MsgClass::Writeback);
+}
+
+TEST(MsgTest, WordMaskHelpers)
+{
+    EXPECT_EQ(popcount(fullLineMask), 16u);
+    EXPECT_EQ(popcount(WordMask(0)), 0u);
+    EXPECT_EQ(wordBit(0), 1u);
+    EXPECT_EQ(wordBit(15), 0x8000u);
+}
+
+TEST(DenovoTest, StatePredicates)
+{
+    EXPECT_FALSE(readable(WordState::Invalid));
+    EXPECT_TRUE(readable(WordState::Valid));
+    EXPECT_TRUE(readable(WordState::Registered));
+    EXPECT_FALSE(writable(WordState::Invalid));
+    EXPECT_FALSE(writable(WordState::Valid));
+    EXPECT_TRUE(writable(WordState::Registered));
+}
+
+} // namespace
+} // namespace stashsim

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the page table and per-core TLB.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/page_table.hh"
+#include "mem/tlb.hh"
+
+namespace stashsim
+{
+namespace
+{
+
+TEST(PageTableTest, FirstTouchAllocatesDistinctPages)
+{
+    PageTable pt;
+    const PhysAddr p0 = pt.translate(0x10000);
+    const PhysAddr p1 = pt.translate(0x20000);
+    EXPECT_NE(pageBase(p0), pageBase(p1));
+    EXPECT_EQ(pt.numPages(), 2u);
+}
+
+TEST(PageTableTest, TranslationIsStable)
+{
+    PageTable pt;
+    const PhysAddr a = pt.translate(0x12345678);
+    EXPECT_EQ(pt.translate(0x12345678), a);
+    EXPECT_EQ(pt.numPages(), 1u);
+}
+
+TEST(PageTableTest, OffsetWithinPagePreserved)
+{
+    PageTable pt;
+    const PhysAddr base = pt.translate(0x5000);
+    EXPECT_EQ(pt.translate(0x5004), base + 4);
+    EXPECT_EQ(pt.translate(0x5ffc), pageBase(base) + 0xffc);
+}
+
+TEST(PageTableTest, PhysicalSpaceIsDisjointFromVirtual)
+{
+    // Physical pages start above 4 GB so VA/PA confusion traps.
+    PageTable pt;
+    EXPECT_GE(pt.translate(0x1000), PhysAddr{4} << 30);
+}
+
+TEST(PageTableTest, ReverseInvertsTranslate)
+{
+    PageTable pt;
+    for (Addr va : {Addr(0x1000), Addr(0x7f000), Addr(0x12340abc)}) {
+        const PhysAddr pa = pt.translate(va);
+        Addr back = 0;
+        ASSERT_TRUE(pt.reverse(pa, &back));
+        EXPECT_EQ(back, va);
+    }
+}
+
+TEST(PageTableTest, ReverseFailsForUnmapped)
+{
+    PageTable pt;
+    Addr back;
+    EXPECT_FALSE(pt.reverse(PhysAddr{5} << 30, &back));
+}
+
+TEST(TlbTest, CountsAccessesAndMisses)
+{
+    PageTable pt;
+    Tlb tlb(pt, 4);
+    tlb.translate(0x1000);
+    tlb.translate(0x1004); // same page: hit
+    tlb.translate(0x2000); // new page: miss
+    EXPECT_EQ(tlb.accesses(), 3u);
+    EXPECT_EQ(tlb.misses(), 2u);
+}
+
+TEST(TlbTest, AgreesWithPageTable)
+{
+    PageTable pt;
+    Tlb tlb(pt, 8);
+    const PhysAddr via_tlb = tlb.translate(0x9000);
+    EXPECT_EQ(via_tlb, pt.translate(0x9000));
+}
+
+TEST(TlbTest, LruEvictionKeepsHotPages)
+{
+    PageTable pt;
+    Tlb tlb(pt, 2);
+    tlb.translate(0x1000);
+    tlb.translate(0x2000);
+    tlb.translate(0x1000);  // refresh page 1
+    tlb.translate(0x3000);  // evicts page 2
+    EXPECT_EQ(tlb.size(), 2u);
+    const auto misses_before = tlb.misses();
+    tlb.translate(0x1000); // still resident
+    EXPECT_EQ(tlb.misses(), misses_before);
+    tlb.translate(0x2000); // was evicted
+    EXPECT_EQ(tlb.misses(), misses_before + 1);
+}
+
+TEST(TlbTest, CapacityBounded)
+{
+    PageTable pt;
+    Tlb tlb(pt, 16);
+    for (Addr p = 0; p < 64; ++p)
+        tlb.translate(p * pageBytes);
+    EXPECT_EQ(tlb.size(), 16u);
+}
+
+} // namespace
+} // namespace stashsim

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit and property tests for TileSpec: the AddMap translation math
+ * (paper Figure 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/tile.hh"
+
+namespace stashsim
+{
+namespace
+{
+
+TileSpec
+aosFieldTile()
+{
+    // One 4-byte field of 64-byte objects, 256 objects per row,
+    // 4 rows strided 64 KB apart: the Figure 2 shape.
+    TileSpec t;
+    t.globalBase = 0x1000'0000;
+    t.fieldSize = 4;
+    t.objectSize = 64;
+    t.rowSize = 256;
+    t.strideSize = 64 * 1024;
+    t.numStrides = 4;
+    return t;
+}
+
+TEST(TileSpecTest, SizesFollowDefinition)
+{
+    TileSpec t = aosFieldTile();
+    EXPECT_TRUE(t.wellFormed());
+    EXPECT_EQ(t.mappedBytes(), 4u * 256 * 4);
+    EXPECT_EQ(t.numElements(), 1024u);
+}
+
+TEST(TileSpecTest, ForwardTranslationSkipsUnmappedFields)
+{
+    TileSpec t = aosFieldTile();
+    // Element 0, byte 0.
+    EXPECT_EQ(t.globalAddrOf(0), t.globalBase);
+    // Element 1 starts one objectSize further in memory even though
+    // it is fieldSize further in the stash: compact storage.
+    EXPECT_EQ(t.globalAddrOf(4), t.globalBase + 64);
+    // First element of row 1.
+    EXPECT_EQ(t.globalAddrOf(256 * 4), t.globalBase + 64 * 1024);
+}
+
+TEST(TileSpecTest, ScalarArrayIsDenseSpecialCase)
+{
+    TileSpec t;
+    t.globalBase = 0x2000;
+    t.fieldSize = 4;
+    t.objectSize = 4;
+    t.rowSize = 128;
+    t.strideSize = 0;
+    t.numStrides = 1;
+    EXPECT_TRUE(t.wellFormed());
+    for (std::uint32_t off = 0; off < t.mappedBytes(); off += 4)
+        EXPECT_EQ(t.globalAddrOf(off), t.globalBase + off);
+}
+
+TEST(TileSpecTest, ReverseTranslationInvertsForward)
+{
+    TileSpec t = aosFieldTile();
+    for (std::uint32_t off = 0; off < t.mappedBytes(); off += 4) {
+        std::uint32_t back = ~0u;
+        ASSERT_TRUE(t.reverse(t.globalAddrOf(off), &back));
+        EXPECT_EQ(back, off);
+    }
+}
+
+TEST(TileSpecTest, ReverseRejectsUnmappedFieldBytes)
+{
+    TileSpec t = aosFieldTile();
+    std::uint32_t off;
+    // Byte 4 of object 0 is outside the 4-byte mapped field.
+    EXPECT_FALSE(t.reverse(t.globalBase + 4, &off));
+    // Below the base.
+    EXPECT_FALSE(t.reverse(t.globalBase - 4, &off));
+    // Beyond the last row.
+    EXPECT_FALSE(t.reverse(t.globalBase + Addr(4) * 64 * 1024, &off));
+}
+
+TEST(TileSpecTest, MultiWordFields)
+{
+    TileSpec t;
+    t.globalBase = 0x3000;
+    t.fieldSize = 12; // three words of each object
+    t.objectSize = 32;
+    t.rowSize = 8;
+    t.strideSize = 0;
+    t.numStrides = 1;
+    EXPECT_EQ(t.mappedBytes(), 96u);
+    EXPECT_EQ(t.globalAddrOf(0), 0x3000u);
+    EXPECT_EQ(t.globalAddrOf(8), 0x3008u);  // word 2 of element 0
+    EXPECT_EQ(t.globalAddrOf(12), 0x3020u); // word 0 of element 1
+    std::uint32_t off;
+    ASSERT_TRUE(t.reverse(0x3028, &off));
+    EXPECT_EQ(off, 20u); // element 1, byte 8
+}
+
+TEST(TileSpecTest, WellFormedRejectsDegenerates)
+{
+    TileSpec t = aosFieldTile();
+    t.fieldSize = 0;
+    EXPECT_FALSE(t.wellFormed());
+
+    t = aosFieldTile();
+    t.fieldSize = 128; // larger than the object
+    EXPECT_FALSE(t.wellFormed());
+
+    t = aosFieldTile();
+    t.strideSize = 16; // rows overlap
+    EXPECT_FALSE(t.wellFormed());
+
+    t = aosFieldTile();
+    t.numStrides = 1; // stride unused: always fine
+    t.strideSize = 0;
+    EXPECT_TRUE(t.wellFormed());
+}
+
+TEST(TileSpecTest, EqualityIsStructural)
+{
+    TileSpec a = aosFieldTile();
+    TileSpec b = aosFieldTile();
+    EXPECT_TRUE(a == b);
+    b.isCoherent = !b.isCoherent; // mode excluded from identity
+    EXPECT_TRUE(a == b);
+    b = aosFieldTile();
+    b.globalBase += 64;
+    EXPECT_FALSE(a == b);
+}
+
+/**
+ * Property sweep: forward/reverse round-trip over many tile shapes.
+ */
+struct TileShape
+{
+    std::uint32_t fieldSize, objectSize, rowSize, strideFactor,
+        numStrides;
+};
+
+class TileRoundTrip : public ::testing::TestWithParam<TileShape>
+{
+};
+
+TEST_P(TileRoundTrip, ForwardReverseIdentity)
+{
+    const TileShape &s = GetParam();
+    TileSpec t;
+    t.globalBase = 0x4000'0000;
+    t.fieldSize = s.fieldSize;
+    t.objectSize = s.objectSize;
+    t.rowSize = s.rowSize;
+    t.strideSize = s.rowSize * s.objectSize * s.strideFactor;
+    t.numStrides = s.numStrides;
+    ASSERT_TRUE(t.wellFormed());
+    for (std::uint32_t off = 0; off < t.mappedBytes(); off += 4) {
+        std::uint32_t back = ~0u;
+        const Addr ga = t.globalAddrOf(off);
+        ASSERT_TRUE(t.reverse(ga, &back)) << "offset " << off;
+        ASSERT_EQ(back, off);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TileRoundTrip,
+    ::testing::Values(
+        TileShape{4, 4, 64, 1, 1},      // dense 1D
+        TileShape{4, 64, 32, 1, 8},     // AoS field, tight rows
+        TileShape{4, 64, 32, 3, 8},     // AoS field, spread rows
+        TileShape{8, 32, 16, 2, 4},     // two-word field
+        TileShape{16, 16, 128, 1, 2},   // whole-object rows
+        TileShape{4, 4, 16, 4, 16},     // 2D dense tile in big matrix
+        TileShape{12, 48, 10, 2, 5}));  // odd sizes
+
+} // namespace
+} // namespace stashsim

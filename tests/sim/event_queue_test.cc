@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel and clock domains.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace stashsim
+{
+namespace
+{
+
+TEST(EventQueueTest, StartsEmptyAtTickZero)
+{
+    EventQueue eq;
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_EQ(eq.run(), 0u);
+}
+
+TEST(EventQueueTest, RunsEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&]() { order.push_back(3); });
+    eq.schedule(10, [&]() { order.push_back(1); });
+    eq.schedule(20, [&]() { order.push_back(2); });
+    EXPECT_EQ(eq.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueueTest, EqualTickPreservesInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(5, [&order, i]() { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, PriorityBreaksTickTies)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&]() { order.push_back(2); },
+                EventQueue::PriDefault);
+    eq.schedule(5, [&]() { order.push_back(1); },
+                EventQueue::PriDelivery);
+    eq.schedule(5, [&]() { order.push_back(3); },
+                EventQueue::PriStats);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EventsMayScheduleNewEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&]() {
+        ++fired;
+        eq.scheduleIn(4, [&]() { ++fired; });
+    });
+    EXPECT_EQ(eq.run(), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.curTick(), 5u);
+}
+
+TEST(EventQueueTest, RunHonorsMaxTick)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&]() { ++fired; });
+    eq.schedule(20, [&]() { ++fired; });
+    EXPECT_EQ(eq.run(15), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(eq.empty());
+    EXPECT_EQ(eq.run(), 1u);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, RunOneExecutesSingleEvent)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(3, [&]() { ++fired; });
+    eq.schedule(4, [&]() { ++fired; });
+    EXPECT_TRUE(eq.runOne());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.runOne());
+    EXPECT_FALSE(eq.runOne());
+}
+
+TEST(EventQueueTest, ResetClearsStateAndTime)
+{
+    EventQueue eq;
+    eq.schedule(10, []() {});
+    eq.run();
+    eq.schedule(20, []() {});
+    eq.reset();
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.curTick(), 0u);
+}
+
+TEST(ClockTest, CpuAndGpuPeriodsMatchTable2Frequencies)
+{
+    // 2 GHz CPU and 700 MHz GPU on a 14 GHz tick base.
+    EXPECT_EQ(ticksPerSecond / cpuClockPeriod, 2'000'000'000u);
+    EXPECT_EQ(ticksPerSecond / gpuClockPeriod, 700'000'000u);
+}
+
+TEST(ClockTest, ConversionsRoundTrip)
+{
+    Clock gpu(gpuClockPeriod);
+    EXPECT_EQ(gpu.cyclesToTicks(10), 200u);
+    EXPECT_EQ(gpu.ticksToCycles(200), 10u);
+    EXPECT_EQ(gpu.ticksToCycles(219), 10u);
+}
+
+TEST(ClockTest, NextEdgeAlignsUp)
+{
+    Clock gpu(gpuClockPeriod);
+    EXPECT_EQ(gpu.nextEdge(0), 0u);
+    EXPECT_EQ(gpu.nextEdge(1), 20u);
+    EXPECT_EQ(gpu.nextEdge(20), 20u);
+    EXPECT_EQ(gpu.nextEdge(21), 40u);
+}
+
+/** Property: randomly-ordered events execute in nondecreasing time. */
+TEST(EventQueueTest, PropertyMonotonicExecution)
+{
+    EventQueue eq;
+    std::uint64_t seed = 12345;
+    auto next = [&seed]() {
+        seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+        return (seed >> 33) % 1000;
+    };
+    Tick last = 0;
+    bool monotonic = true;
+    for (int i = 0; i < 500; ++i) {
+        eq.schedule(next(), [&]() {
+            if (eq.curTick() < last)
+                monotonic = false;
+            last = eq.curTick();
+        });
+    }
+    EXPECT_EQ(eq.run(), 500u);
+    EXPECT_TRUE(monotonic);
+}
+
+} // namespace
+} // namespace stashsim

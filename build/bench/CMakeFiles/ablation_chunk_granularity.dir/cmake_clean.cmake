@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_chunk_granularity.dir/ablation_chunk_granularity.cc.o"
+  "CMakeFiles/ablation_chunk_granularity.dir/ablation_chunk_granularity.cc.o.d"
+  "ablation_chunk_granularity"
+  "ablation_chunk_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chunk_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

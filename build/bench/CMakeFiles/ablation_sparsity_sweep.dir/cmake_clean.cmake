@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sparsity_sweep.dir/ablation_sparsity_sweep.cc.o"
+  "CMakeFiles/ablation_sparsity_sweep.dir/ablation_sparsity_sweep.cc.o.d"
+  "ablation_sparsity_sweep"
+  "ablation_sparsity_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sparsity_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

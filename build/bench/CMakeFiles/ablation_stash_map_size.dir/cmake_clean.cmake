@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stash_map_size.dir/ablation_stash_map_size.cc.o"
+  "CMakeFiles/ablation_stash_map_size.dir/ablation_stash_map_size.cc.o.d"
+  "ablation_stash_map_size"
+  "ablation_stash_map_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stash_map_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

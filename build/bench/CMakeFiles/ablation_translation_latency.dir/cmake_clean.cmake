@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_translation_latency.dir/ablation_translation_latency.cc.o"
+  "CMakeFiles/ablation_translation_latency.dir/ablation_translation_latency.cc.o.d"
+  "ablation_translation_latency"
+  "ablation_translation_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_translation_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

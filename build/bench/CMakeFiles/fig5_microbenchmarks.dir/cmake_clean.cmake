@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_microbenchmarks.dir/fig5_microbenchmarks.cc.o"
+  "CMakeFiles/fig5_microbenchmarks.dir/fig5_microbenchmarks.cc.o.d"
+  "fig5_microbenchmarks"
+  "fig5_microbenchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_microbenchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_applications.dir/fig6_applications.cc.o"
+  "CMakeFiles/fig6_applications.dir/fig6_applications.cc.o.d"
+  "fig6_applications"
+  "fig6_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

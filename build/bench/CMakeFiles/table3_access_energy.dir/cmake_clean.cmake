@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_access_energy.dir/table3_access_energy.cc.o"
+  "CMakeFiles/table3_access_energy.dir/table3_access_energy.cc.o.d"
+  "table3_access_energy"
+  "table3_access_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_access_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aos_field_processing.dir/aos_field_processing.cpp.o"
+  "CMakeFiles/aos_field_processing.dir/aos_field_processing.cpp.o.d"
+  "aos_field_processing"
+  "aos_field_processing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aos_field_processing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

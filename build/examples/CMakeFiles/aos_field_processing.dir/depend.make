@@ -1,0 +1,2 @@
+# Empty dependencies file for aos_field_processing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_kernel_reuse.dir/multi_kernel_reuse.cpp.o"
+  "CMakeFiles/multi_kernel_reuse.dir/multi_kernel_reuse.cpp.o.d"
+  "multi_kernel_reuse"
+  "multi_kernel_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_kernel_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

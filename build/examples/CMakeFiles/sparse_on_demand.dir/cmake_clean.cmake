@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_on_demand.dir/sparse_on_demand.cpp.o"
+  "CMakeFiles/sparse_on_demand.dir/sparse_on_demand.cpp.o.d"
+  "sparse_on_demand"
+  "sparse_on_demand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_on_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/system_config.cc" "src/CMakeFiles/stashsim.dir/config/system_config.cc.o" "gcc" "src/CMakeFiles/stashsim.dir/config/system_config.cc.o.d"
+  "/root/repo/src/core/stash.cc" "src/CMakeFiles/stashsim.dir/core/stash.cc.o" "gcc" "src/CMakeFiles/stashsim.dir/core/stash.cc.o.d"
+  "/root/repo/src/core/vp_map.cc" "src/CMakeFiles/stashsim.dir/core/vp_map.cc.o" "gcc" "src/CMakeFiles/stashsim.dir/core/vp_map.cc.o.d"
+  "/root/repo/src/cpu/cpu_core.cc" "src/CMakeFiles/stashsim.dir/cpu/cpu_core.cc.o" "gcc" "src/CMakeFiles/stashsim.dir/cpu/cpu_core.cc.o.d"
+  "/root/repo/src/driver/system.cc" "src/CMakeFiles/stashsim.dir/driver/system.cc.o" "gcc" "src/CMakeFiles/stashsim.dir/driver/system.cc.o.d"
+  "/root/repo/src/energy/energy_model.cc" "src/CMakeFiles/stashsim.dir/energy/energy_model.cc.o" "gcc" "src/CMakeFiles/stashsim.dir/energy/energy_model.cc.o.d"
+  "/root/repo/src/gpu/compute_unit.cc" "src/CMakeFiles/stashsim.dir/gpu/compute_unit.cc.o" "gcc" "src/CMakeFiles/stashsim.dir/gpu/compute_unit.cc.o.d"
+  "/root/repo/src/gpu/kernel.cc" "src/CMakeFiles/stashsim.dir/gpu/kernel.cc.o" "gcc" "src/CMakeFiles/stashsim.dir/gpu/kernel.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/stashsim.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/stashsim.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/coherence/denovo.cc" "src/CMakeFiles/stashsim.dir/mem/coherence/denovo.cc.o" "gcc" "src/CMakeFiles/stashsim.dir/mem/coherence/denovo.cc.o.d"
+  "/root/repo/src/mem/dma_engine.cc" "src/CMakeFiles/stashsim.dir/mem/dma_engine.cc.o" "gcc" "src/CMakeFiles/stashsim.dir/mem/dma_engine.cc.o.d"
+  "/root/repo/src/mem/fabric.cc" "src/CMakeFiles/stashsim.dir/mem/fabric.cc.o" "gcc" "src/CMakeFiles/stashsim.dir/mem/fabric.cc.o.d"
+  "/root/repo/src/mem/llc.cc" "src/CMakeFiles/stashsim.dir/mem/llc.cc.o" "gcc" "src/CMakeFiles/stashsim.dir/mem/llc.cc.o.d"
+  "/root/repo/src/mem/main_memory.cc" "src/CMakeFiles/stashsim.dir/mem/main_memory.cc.o" "gcc" "src/CMakeFiles/stashsim.dir/mem/main_memory.cc.o.d"
+  "/root/repo/src/mem/page_table.cc" "src/CMakeFiles/stashsim.dir/mem/page_table.cc.o" "gcc" "src/CMakeFiles/stashsim.dir/mem/page_table.cc.o.d"
+  "/root/repo/src/mem/tlb.cc" "src/CMakeFiles/stashsim.dir/mem/tlb.cc.o" "gcc" "src/CMakeFiles/stashsim.dir/mem/tlb.cc.o.d"
+  "/root/repo/src/noc/mesh.cc" "src/CMakeFiles/stashsim.dir/noc/mesh.cc.o" "gcc" "src/CMakeFiles/stashsim.dir/noc/mesh.cc.o.d"
+  "/root/repo/src/noc/router.cc" "src/CMakeFiles/stashsim.dir/noc/router.cc.o" "gcc" "src/CMakeFiles/stashsim.dir/noc/router.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/stashsim.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/stashsim.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/log.cc" "src/CMakeFiles/stashsim.dir/sim/log.cc.o" "gcc" "src/CMakeFiles/stashsim.dir/sim/log.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/stashsim.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/stashsim.dir/sim/stats.cc.o.d"
+  "/root/repo/src/workloads/apps.cc" "src/CMakeFiles/stashsim.dir/workloads/apps.cc.o" "gcc" "src/CMakeFiles/stashsim.dir/workloads/apps.cc.o.d"
+  "/root/repo/src/workloads/kernel_builder.cc" "src/CMakeFiles/stashsim.dir/workloads/kernel_builder.cc.o" "gcc" "src/CMakeFiles/stashsim.dir/workloads/kernel_builder.cc.o.d"
+  "/root/repo/src/workloads/microbench.cc" "src/CMakeFiles/stashsim.dir/workloads/microbench.cc.o" "gcc" "src/CMakeFiles/stashsim.dir/workloads/microbench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem/dma_scratch_test.cc" "tests/CMakeFiles/test_mem.dir/mem/dma_scratch_test.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/dma_scratch_test.cc.o.d"
+  "/root/repo/tests/mem/main_memory_test.cc" "tests/CMakeFiles/test_mem.dir/mem/main_memory_test.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/main_memory_test.cc.o.d"
+  "/root/repo/tests/mem/msg_test.cc" "tests/CMakeFiles/test_mem.dir/mem/msg_test.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/msg_test.cc.o.d"
+  "/root/repo/tests/mem/page_table_test.cc" "tests/CMakeFiles/test_mem.dir/mem/page_table_test.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/page_table_test.cc.o.d"
+  "/root/repo/tests/mem/tile_test.cc" "tests/CMakeFiles/test_mem.dir/mem/tile_test.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/tile_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stashsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

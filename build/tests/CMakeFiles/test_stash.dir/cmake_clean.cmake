@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stash.dir/core/stash_map_test.cc.o"
+  "CMakeFiles/test_stash.dir/core/stash_map_test.cc.o.d"
+  "CMakeFiles/test_stash.dir/core/stash_test.cc.o"
+  "CMakeFiles/test_stash.dir/core/stash_test.cc.o.d"
+  "CMakeFiles/test_stash.dir/core/vp_map_test.cc.o"
+  "CMakeFiles/test_stash.dir/core/vp_map_test.cc.o.d"
+  "test_stash"
+  "test_stash.pdb"
+  "test_stash[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system.dir/driver/system_test.cc.o"
+  "CMakeFiles/test_system.dir/driver/system_test.cc.o.d"
+  "CMakeFiles/test_system.dir/workloads/apps_test.cc.o"
+  "CMakeFiles/test_system.dir/workloads/apps_test.cc.o.d"
+  "CMakeFiles/test_system.dir/workloads/kernel_builder_test.cc.o"
+  "CMakeFiles/test_system.dir/workloads/kernel_builder_test.cc.o.d"
+  "CMakeFiles/test_system.dir/workloads/microbench_test.cc.o"
+  "CMakeFiles/test_system.dir/workloads/microbench_test.cc.o.d"
+  "test_system"
+  "test_system.pdb"
+  "test_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Tier-1 CI: configure, build, and run the full test suite twice —
+# once plain, once under AddressSanitizer + UndefinedBehaviorSanitizer.
+#
+# Usage: scripts/ci.sh [jobs]
+set -eu
+
+jobs="${1:-$(nproc 2>/dev/null || echo 4)}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+
+run_suite() {
+    build_dir="$1"
+    shift
+    echo "=== configure ${build_dir} ($*) ==="
+    cmake -B "${build_dir}" -S "${root}" "$@"
+    echo "=== build ${build_dir} ==="
+    cmake --build "${build_dir}" -j "${jobs}"
+    echo "=== ctest ${build_dir} ==="
+    ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+}
+
+run_suite "${root}/build"
+run_suite "${root}/build-san" -DSTASHSIM_SANITIZE=address,undefined
+
+echo "=== CI passed (plain + ASan/UBSan) ==="

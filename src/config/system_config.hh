@@ -46,6 +46,37 @@ usesScratchpad(MemOrg org)
 }
 
 /**
+ * Verification-and-robustness knobs (src/verify).  Everything is off
+ * by default: the checker, watchdog, and fault injector are debugging
+ * instruments, not part of the modelled machine.
+ */
+struct VerifyConfig
+{
+    /** Shadow every coherence transition against a golden memory and
+     *  audit the DeNovo invariants at every drain point. */
+    bool protocolChecker = false;
+
+    /** Deadlock/livelock watchdog over the event queue and mesh. */
+    bool watchdog = false;
+    /** Ticks between watchdog forward-progress checks. */
+    Tick watchdogCheckTicks = 200 * 1000; //!< 10k GPU cycles
+    /** Consecutive no-progress checks before the watchdog trips. */
+    unsigned watchdogStallChecks = 50;
+
+    /** NoC fault injection (seeded, deterministic). */
+    bool faultInjection = false;
+    std::uint64_t faultSeed = 1;
+    /** Per-message delay probability, in permille (0-1000). */
+    unsigned faultDelayPermille = 0;
+    /** Maximum injected delay, in uncore (GPU) cycles. */
+    Cycles faultMaxDelayCycles = 200;
+    /** Per-message duplication probability (idempotent types only). */
+    unsigned faultDupPermille = 0;
+    /** Maximum extra delay of a duplicate delivery, in GPU cycles. */
+    Cycles faultDupDelayCycles = 50;
+};
+
+/**
  * All structural and timing parameters of the simulated system.
  * Defaults reproduce Table 2 of the paper.
  */
@@ -100,6 +131,9 @@ struct SystemConfig
 
     // --- CPU core ------------------------------------------------------
     unsigned cpuOutstanding = 4; //!< max in-flight CPU memory ops
+
+    // --- Verification (not part of the modelled machine) ---------------
+    VerifyConfig verify;
 
     /** Table 2 configuration for the four microbenchmarks. */
     static SystemConfig microbenchmarkDefault();

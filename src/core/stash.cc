@@ -1,8 +1,12 @@
 #include "core/stash.hh"
 
+#include <algorithm>
 #include <map>
+#include <ostream>
+#include <sstream>
 
 #include "sim/log.hh"
+#include "verify/protocol_checker.hh"
 
 namespace stashsim
 {
@@ -225,6 +229,11 @@ Stash::chgMap(MapIndex idx, LocalAddr stash_base, const TileSpec &tile)
             const Addr ga = e.tile.globalAddrOf(off);
             ++_stats.vpMapAccesses;
             const PhysAddr pa = vpMap.translate(ga, idx);
+            if (checker) {
+                // The conversion makes the stash copy the globally
+                // visible one: commit it to the golden image.
+                checker->onStore(pa, data[w]);
+            }
             reg_lines[lineBase(pa)] |= wordBit(lineWord(pa));
         }
         for (const auto &[line_pa, mask] : reg_lines) {
@@ -340,6 +349,20 @@ Stash::access(LocalAddr line_addr, WordMask mask, bool is_store,
             if (!(mask & wordBit(w)))
                 continue;
             data[word0 + w] = store_data->w[w];
+            if (checker) {
+                // Side-effect-free probe: the timed translation (and
+                // its statistics) happens below, for need_reg words
+                // only, as in the unchecked simulation.
+                const std::uint32_t off =
+                    (word0 + w) * wordBytes - e.stashBase;
+                PhysAddr pa;
+                if (vpMap.probe(e.tile.globalAddrOf(off), &pa)) {
+                    if (e.tile.isCoherent)
+                        checker->onStore(pa, store_data->w[w]);
+                    else
+                        checker->onOpaqueStore(pa);
+                }
+            }
             if (e.tile.isCoherent) {
                 if (state[word0 + w] != WordState::Registered) {
                     setState(word0 + w, WordState::Registered,
@@ -535,6 +558,8 @@ Stash::markDirty(std::uint32_t word, MapIndex map_idx)
         StashMapEntry &old = map.entry(ch.mapIdx);
         if (old.dirtyData > 0)
             --old.dirtyData;
+        else if (checker)
+            checker->onDirtyDataUnderflow(owner, ch.mapIdx);
         ++map.entry(map_idx).dirtyData;
         ch.mapIdx = map_idx;
     }
@@ -640,6 +665,11 @@ Stash::writebackChunk(unsigned chunk)
         if (e.dirtyData == 0 && !e.valid) {
             // Fully drained, already replaced: nothing more to do.
         }
+    } else if (checker) {
+        // The chunk was dirty/writeback (checked on entry), so the
+        // entry must have been charged for it: a zero counter here is
+        // a #DirtyData underflow.
+        checker->onDirtyDataUnderflow(owner, ch.mapIdx);
     }
 }
 
@@ -684,6 +714,8 @@ Stash::endKernel()
 {
     for (std::uint32_t w = 0; w < numWords(); ++w) {
         if (state[w] == WordState::Valid) {
+            if (checker)
+                checker->onSelfInvalidate("stash", owner, w, state[w]);
             setState(w, WordState::Invalid, "self-invalidate");
             ++_stats.selfInvalidations;
         }
@@ -698,7 +730,7 @@ Stash::flushAll()
 }
 
 std::vector<std::uint32_t>
-Stash::resolveVa(Addr va, MapIndex hint) const
+Stash::resolveVa(Addr va, MapIndex hint, bool all_aliases) const
 {
     std::vector<std::uint32_t> words;
     auto try_entry = [&](MapIndex i) {
@@ -719,7 +751,8 @@ Stash::resolveVa(Addr va, MapIndex hint) const
         words.push_back(w);
     };
     try_entry(hint);
-    if (!words.empty() && state[words.front()] != WordState::Invalid)
+    if (!all_aliases && !words.empty() &&
+        state[words.front()] != WordState::Invalid)
         return words; // fast path: the directory's hint still holds
     for (unsigned i = 0; i < map.capacity(); ++i)
         try_entry(MapIndex(i));
@@ -744,6 +777,13 @@ Stash::receive(const Msg &msg)
                 if (state[pw->stashWord] == WordState::Invalid) {
                     data[pw->stashWord] = msg.data.w[pw->wordInLine];
                     setState(pw->stashWord, WordState::Valid, "fill");
+                    if (checker) {
+                        checker->onFill(
+                            "stash", owner,
+                            msg.linePA +
+                                PhysAddr(pw->wordInLine) * wordBytes,
+                            msg.data.w[pw->wordInLine]);
+                    }
                 }
                 if (--pw->waiter->remaining == 0)
                     finishWaiter(pw->waiter);
@@ -769,7 +809,10 @@ Stash::receive(const Msg &msg)
         }
         // Locate the local copies through the RTLB plus the map
         // entries; registration has moved elsewhere, so every copy
-        // of the datum is stale.
+        // of the datum is stale — including a replica source whose
+        // words may still read Registered from the kernel that
+        // populated it, so bypass the hint fast path and strip all
+        // aliases.
         for (unsigned w = 0; w < wordsPerLine; ++w) {
             if (!(msg.mask & wordBit(w)))
                 continue;
@@ -777,7 +820,8 @@ Stash::receive(const Msg &msg)
             ++_stats.vpMapAccesses;
             if (!vpMap.reverse(msg.linePA + w * wordBytes, &va))
                 continue;
-            for (std::uint32_t sw : resolveVa(va, msg.stashMapIdx))
+            for (std::uint32_t sw :
+                 resolveVa(va, msg.stashMapIdx, true))
                 setState(sw, WordState::Invalid, "invreq");
         }
         return;
@@ -873,6 +917,145 @@ bool
 Stash::chunkDirty(unsigned chunk) const
 {
     return chunks.at(chunk).dirty;
+}
+
+// ---------------------------------------------------------------------
+// Verification hooks
+// ---------------------------------------------------------------------
+
+void
+Stash::forEachMappedWord(
+    const std::function<void(PhysAddr, WordState, std::uint32_t,
+                             MapIndex)> &fn) const
+{
+    // A replica source and the newer same-tile mapping that copied
+    // from it (reuseBit/reuseIdx) alias the same addresses; like
+    // resolveVa, the audit treats the aliased words as ONE logical
+    // copy per physical address: the strongest state anywhere (the
+    // registration may live in the older words if the new mapping
+    // only read), with the newest mapping's data (the words a fresh
+    // store lands in).
+    std::vector<bool> superseded(map.capacity(), false);
+    for (unsigned i = 0; i < map.capacity(); ++i) {
+        const StashMapEntry &e = map.entry(MapIndex(i));
+        if (e.valid && e.reuseBit && e.reuseIdx != MapIndex(i) &&
+            map.entry(e.reuseIdx).valid &&
+            map.entry(e.reuseIdx).tile == e.tile) {
+            superseded[e.reuseIdx] = true;
+        }
+    }
+    struct Rec
+    {
+        WordState st;
+        std::uint32_t data;
+        MapIndex idx;
+        bool latest;
+    };
+    std::unordered_map<PhysAddr, Rec> merged;
+    for (unsigned i = 0; i < map.capacity(); ++i) {
+        const MapIndex idx = MapIndex(i);
+        const StashMapEntry &e = map.entry(idx);
+        if (!e.valid || !e.tile.isCoherent)
+            continue;
+        const std::uint32_t w_begin = e.stashBase / wordBytes;
+        const std::uint32_t w_end =
+            (e.stashBase + e.tile.mappedBytes()) / wordBytes;
+        for (std::uint32_t w = w_begin; w < w_end; ++w) {
+            // Only the region's latest allocator speaks for the word;
+            // older replaced mappings onto the same bytes are dead.
+            if (chunks[chunkOf(w)].allocIdx != idx)
+                continue;
+            if (state[w] == WordState::Invalid)
+                continue;
+            const std::uint32_t off = w * wordBytes - e.stashBase;
+            PhysAddr pa;
+            if (!vpMap.probe(e.tile.globalAddrOf(off), &pa))
+                continue;
+            const Rec r{state[w], data[w], idx, !superseded[i]};
+            auto [it, fresh] = merged.emplace(pa, r);
+            if (!fresh) {
+                if (r.latest && !it->second.latest) {
+                    const WordState strongest =
+                        std::max(it->second.st, r.st);
+                    it->second = r;
+                    it->second.st = strongest;
+                } else {
+                    it->second.st = std::max(it->second.st, r.st);
+                }
+            }
+        }
+    }
+    for (const auto &[pa, r] : merged)
+        fn(pa, r.st, r.data, r.idx);
+}
+
+void
+Stash::auditAccounting(
+    const std::function<void(const std::string &)> &report) const
+{
+    // #DirtyData must equal the number of dirty/writeback chunks
+    // charged to each entry (invalid entries must have drained to 0).
+    for (unsigned i = 0; i < map.capacity(); ++i) {
+        const StashMapEntry &e = map.entry(MapIndex(i));
+        std::uint32_t charged = 0;
+        for (const Chunk &ch : chunks) {
+            if ((ch.dirty || ch.writeback) && ch.mapIdx == MapIndex(i))
+                ++charged;
+        }
+        if (charged != e.dirtyData) {
+            std::ostringstream os;
+            os << "stash core " << owner << " map entry " << i
+               << (e.valid ? "" : " (invalid)") << " #DirtyData="
+               << e.dirtyData << " but " << charged
+               << " dirty/writeback chunk(s) charge it";
+            report(os.str());
+        }
+    }
+    // Every Registered word must be reachable through a live coherent
+    // mapping; otherwise its directory registration can never be
+    // recalled or written back.
+    for (std::uint32_t w = 0; w < std::uint32_t(data.size()); ++w) {
+        if (state[w] != WordState::Registered)
+            continue;
+        const MapIndex alloc = chunks[chunkOf(w)].allocIdx;
+        bool ok = false;
+        if (alloc != unmappedIndex) {
+            const StashMapEntry &e = map.entry(alloc);
+            const std::uint32_t base = e.stashBase / wordBytes;
+            const std::uint32_t end =
+                (e.stashBase + e.tile.mappedBytes()) / wordBytes;
+            ok = e.valid && e.tile.isCoherent && w >= base && w < end;
+        }
+        if (!ok) {
+            std::ostringstream os;
+            os << "stash core " << owner << " word " << w
+               << " is Registered but unreachable (alloc entry "
+               << unsigned(alloc) << ")";
+            report(os.str());
+        }
+    }
+}
+
+void
+Stash::dumpState(std::ostream &os) const
+{
+    os << "  stash core " << owner << ": vp-map " << vpMap.size() << "/"
+       << vpMap.capacity() << " pages, " << pendingFills.size()
+       << " pending fill line(s), " << deferred.size()
+       << " deferred access(es)\n";
+    for (unsigned i = 0; i < map.capacity(); ++i) {
+        const StashMapEntry &e = map.entry(MapIndex(i));
+        if (!e.valid)
+            continue;
+        os << "    map[" << i << "] base=0x" << std::hex << e.stashBase
+           << std::dec << " bytes=" << e.tile.mappedBytes()
+           << (e.tile.isCoherent ? " coherent" : " non-coherent")
+           << (e.pinned ? " pinned" : "") << " #DirtyData="
+           << e.dirtyData;
+        if (e.reuseBit)
+            os << " reuse->" << unsigned(e.reuseIdx);
+        os << "\n";
+    }
 }
 
 } // namespace stashsim

@@ -33,7 +33,9 @@
 #define STASHSIM_CORE_STASH_HH
 
 #include <functional>
+#include <iosfwd>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -47,6 +49,8 @@
 
 namespace stashsim
 {
+
+class ProtocolChecker;
 
 /**
  * One per-CU stash.
@@ -139,6 +143,30 @@ class Stash : public MemObject
     bool chunkDirty(unsigned chunk) const;
     /** @} */
 
+    /** Shadows stores/fills/transitions against @p c. */
+    void attachChecker(ProtocolChecker *c) { checker = c; }
+
+    /**
+     * Protocol-checker sweep: every readable word reachable through a
+     * valid *coherent* mapping that is the current occupant of its
+     * stash region.  fn(pa, state, data, mapIdx).
+     */
+    void forEachMappedWord(
+        const std::function<void(PhysAddr, WordState, std::uint32_t,
+                                 MapIndex)> &fn) const;
+
+    /**
+     * Protocol-checker bookkeeping audit: per-entry #DirtyData versus
+     * actual dirty/writeback chunk counts, and Registered words not
+     * reachable through any live coherent mapping.  Findings are
+     * reported through @p report.
+     */
+    void auditAccounting(
+        const std::function<void(const std::string &)> &report) const;
+
+    /** Writes map-table and VP-map occupancy (watchdog dumps). */
+    void dumpState(std::ostream &os) const;
+
   private:
     struct Chunk
     {
@@ -189,7 +217,8 @@ class Stash : public MemObject
      * valid entries are searched.  Replicated mappings can yield
      * several copies.
      */
-    std::vector<std::uint32_t> resolveVa(Addr va, MapIndex hint) const;
+    std::vector<std::uint32_t> resolveVa(Addr va, MapIndex hint,
+                                         bool allAliases = false) const;
 
     /** Writes back (or discards, if non-coherent) one chunk. */
     void writebackChunk(unsigned chunk);
@@ -237,6 +266,7 @@ class Stash : public MemObject
     void replayDeferred();
 
     StashStats _stats;
+    ProtocolChecker *checker = nullptr;
 };
 
 } // namespace stashsim

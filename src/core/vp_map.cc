@@ -49,6 +49,18 @@ VpMap::reverse(PhysAddr pa, Addr *va)
     return true;
 }
 
+bool
+VpMap::probe(Addr va, PhysAddr *pa) const
+{
+    const Addr vpage = pageBase(va);
+    auto it = tlb.find(vpage);
+    if (it != tlb.end()) {
+        *pa = it->second.ppage + (va - vpage);
+        return true;
+    }
+    return pageTable.lookup(va, pa);
+}
+
 void
 VpMap::release(MapIndex map_idx)
 {

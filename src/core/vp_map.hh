@@ -63,6 +63,15 @@ class VpMap
      */
     void release(MapIndex map_idx);
 
+    /**
+     * Side-effect-free lookup for verification code: no access
+     * counting, no install.  Falls back to the shared page table for
+     * pages already dropped by release() but still mapped globally.
+     *
+     * @return true and sets @p pa when the page is mapped.
+     */
+    bool probe(Addr va, PhysAddr *pa) const;
+
     /** True when installing one more page would exceed capacity. */
     bool full() const { return tlb.size() >= _capacity; }
 

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "sim/log.hh"
+#include "verify/watchdog.hh"
 
 namespace stashsim
 {
@@ -66,6 +67,8 @@ CpuCore::issueNext()
 void
 CpuCore::onComplete(std::size_t idx, const LineData &d)
 {
+    if (watchdog)
+        watchdog->progress();
     const CpuOp &op = ops[idx];
     if (!op.isStore && op.checkValue) {
         const std::uint32_t got = d.w[lineWord(op.addr)];

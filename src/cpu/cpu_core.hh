@@ -28,6 +28,8 @@
 namespace stashsim
 {
 
+class Watchdog;
+
 /** One CPU memory operation. */
 struct CpuOp
 {
@@ -56,6 +58,9 @@ class CpuCore
 
     const CpuStats &stats() const { return _stats; }
 
+    /** Reports access completions as forward progress to @p w. */
+    void setWatchdog(Watchdog *w) { watchdog = w; }
+
   private:
     void issueNext();
     void onComplete(std::size_t idx, const LineData &d);
@@ -73,6 +78,7 @@ class CpuCore
     std::vector<std::string> *errors = nullptr;
 
     CpuStats _stats;
+    Watchdog *watchdog = nullptr;
 };
 
 } // namespace stashsim

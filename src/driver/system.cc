@@ -1,6 +1,11 @@
 #include "driver/system.hh"
 
+#include <ostream>
+
 #include "sim/log.hh"
+#include "verify/fault_injector.hh"
+#include "verify/protocol_checker.hh"
+#include "verify/watchdog.hh"
 
 namespace stashsim
 {
@@ -105,16 +110,65 @@ System::System(const SystemConfig &cfg, const EnergyParams &energy)
                                            cfg.cpuOutstanding);
         cpus.push_back(std::move(c));
     }
+
+    // Verification subsystem (all pieces independently toggleable).
+    if (cfg.verify.faultInjection) {
+        _injector =
+            std::make_unique<FaultInjector>(eq, this->cfg.verify);
+        fabric.setFaultInjector(_injector.get());
+    }
+    if (cfg.verify.protocolChecker) {
+        _checker = std::make_unique<ProtocolChecker>();
+        for (auto &b : llcBanks)
+            _checker->addLlc(b.get());
+        for (unsigned i = 0; i < gpus.size(); ++i) {
+            GpuNode &g = gpus[i];
+            const CoreId core = CoreId(i);
+            g.l1->attachChecker(_checker.get());
+            _checker->addL1(core, g.l1.get());
+            if (g.stash) {
+                g.stash->attachChecker(_checker.get());
+                _checker->addStash(core, g.stash.get());
+            }
+            if (g.dma)
+                g.dma->attachChecker(_checker.get());
+        }
+        for (unsigned i = 0; i < cpus.size(); ++i) {
+            const CoreId core = CoreId(cfg.numGpuCus + i);
+            cpus[i].l1->attachChecker(_checker.get());
+            _checker->addL1(core, cpus[i].l1.get());
+        }
+    }
+    if (cfg.verify.watchdog) {
+        _watchdog = std::make_unique<Watchdog>(eq, this->cfg.verify);
+        _watchdog->setDumpFn(
+            [this](std::ostream &os) { dumpDiagnostics(os); });
+        for (auto &g : gpus) {
+            g.cu->setWatchdog(_watchdog.get());
+            if (g.dma)
+                g.dma->setWatchdog(_watchdog.get());
+        }
+        for (auto &c : cpus)
+            c.core->setWatchdog(_watchdog.get());
+    }
 }
 
 System::~System() = default;
 
 void
-System::drain()
+System::drain(const char *what)
 {
     // Phases only complete when no component generates further work,
     // so running the event queue dry is a full drain.
+    if (_watchdog)
+        _watchdog->beginPhase(what);
     eq.run();
+    if (_watchdog)
+        _watchdog->endPhase();
+    // Drain points are the protocol's synchronization points: the
+    // only moments the DeNovo invariants must hold globally.
+    if (_checker)
+        _checker->audit(what);
 }
 
 void
@@ -137,7 +191,9 @@ System::runGpuPhase(Phase &phase)
         gpus[i].cu->runKernel(std::move(per_cu[i]),
                               [&pending]() { --pending; });
     }
-    drain();
+    drain("gpu kernel phase");
+    if (pending != 0 && _watchdog)
+        _watchdog->reportHang("gpu kernel phase");
     sim_assert(pending == 0);
 }
 
@@ -159,7 +215,9 @@ System::runCpuPhase(Phase &phase, std::vector<std::string> *errors)
         cpus[i].core->run(std::move(phase.cpuWork[i]),
                           [&pending]() { --pending; }, errors);
     }
-    drain();
+    drain("cpu phase");
+    if (pending != 0 && _watchdog)
+        _watchdog->reportHang("cpu phase");
     sim_assert(pending == 0);
 }
 
@@ -205,9 +263,11 @@ System::run(Workload wl)
     }
     for (auto &c : cpus)
         c.l1->flushAll();
-    drain();
+    drain("final flush");
     for (auto &b : llcBanks)
         b->flushDirtyToMemory();
+    if (_checker)
+        _checker->checkFinalMemory(mem);
 
     if (wl.validate) {
         if (!wl.validate(fm, r.errors))
@@ -266,6 +326,42 @@ LlcBank *
 System::llcBankOf(PhysAddr line_pa)
 {
     return llcBanks[fabric.nodeOfLlc(line_pa)].get();
+}
+
+void
+System::dumpDiagnostics(std::ostream &os) const
+{
+    os << "--- system state (tick " << eq.curTick() << ") ---\n";
+    os << "  event queue: " << eq.size() << " pending event(s)";
+    if (eq.size() > 0)
+        os << ", next at tick " << eq.nextTick();
+    os << "\n";
+    fabric.dumpState(os);
+    os << "  router channel reservations (busy-until tick):\n";
+    static const char *dirName[] = {"N", "S", "E", "W", "L"};
+    for (NodeId n = 0; n < cfg.numNodes(); ++n) {
+        const Router &r = mesh.router(n);
+        bool any = false;
+        for (unsigned d = 0; d < unsigned(Direction::NumDirections);
+             ++d) {
+            any = any || r.busyUntil(Direction(d)) > 0;
+        }
+        if (!any)
+            continue;
+        os << "    node " << unsigned(n) << ":";
+        for (unsigned d = 0; d < unsigned(Direction::NumDirections);
+             ++d) {
+            if (r.busyUntil(Direction(d)) > 0) {
+                os << " " << dirName[d] << "="
+                   << r.busyUntil(Direction(d));
+            }
+        }
+        os << "\n";
+    }
+    for (const auto &g : gpus) {
+        if (g.stash)
+            g.stash->dumpState(os);
+    }
 }
 
 } // namespace stashsim

@@ -19,6 +19,7 @@
 #ifndef STASHSIM_DRIVER_SYSTEM_HH
 #define STASHSIM_DRIVER_SYSTEM_HH
 
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -42,6 +43,10 @@
 
 namespace stashsim
 {
+
+class FaultInjector;
+class ProtocolChecker;
+class Watchdog;
 
 /** Everything a bench or test needs from one simulated run. */
 struct RunResult
@@ -81,7 +86,18 @@ class System
     L1Cache *cpuL1Of(unsigned cpu);
     LlcBank *llcBankOf(PhysAddr line_pa);
     PageTable &pageTableRef() { return pageTable; }
+    Fabric &fabricRef() { return fabric; }
+    ProtocolChecker *checker() { return _checker.get(); }
+    Watchdog *watchdog() { return _watchdog.get(); }
+    FaultInjector *faultInjector() { return _injector.get(); }
     /** @} */
+
+    /**
+     * Structured system-state dump: event queue, fabric in-flight
+     * counts, router channel reservations, stash maps.  Runs on any
+     * panic/fatal while the watchdog is enabled.
+     */
+    void dumpDiagnostics(std::ostream &os) const;
 
   private:
     struct GpuNode
@@ -103,7 +119,7 @@ class System
 
     void runGpuPhase(Phase &phase);
     void runCpuPhase(Phase &phase, std::vector<std::string> *errors);
-    void drain();
+    void drain(const char *what = "drain");
 
     SystemConfig cfg;
     EnergyModel energyModel;
@@ -113,6 +129,10 @@ class System
     Fabric fabric;
     MainMemory mem;
     PageTable pageTable;
+
+    std::unique_ptr<FaultInjector> _injector;
+    std::unique_ptr<ProtocolChecker> _checker;
+    std::unique_ptr<Watchdog> _watchdog;
 
     std::vector<std::unique_ptr<LlcBank>> llcBanks;
     std::vector<GpuNode> gpus;

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "sim/log.hh"
+#include "verify/watchdog.hh"
 
 namespace stashsim
 {
@@ -366,6 +367,8 @@ ComputeUnit::execute(WarpCtx &warp)
 {
     const WarpOp &op = (*warp.ops)[warp.pc++];
     ++_stats.instructions;
+    if (watchdog)
+        watchdog->progress();
 
     // Scoreboard approximation: a run of consecutive loads issues
     // together before the warp blocks (real warps stall on the first

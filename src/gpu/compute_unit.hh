@@ -35,6 +35,8 @@
 namespace stashsim
 {
 
+class Watchdog;
+
 /**
  * One GPU compute unit.
  */
@@ -56,6 +58,9 @@ class ComputeUnit
 
     const GpuStats &stats() const { return _stats; }
     CoreId coreId() const { return core; }
+
+    /** Reports instruction issue as forward progress to @p w. */
+    void setWatchdog(Watchdog *w) { watchdog = w; }
 
   private:
     struct TbCtx;
@@ -130,6 +135,7 @@ class ComputeUnit
     LocalAddr allocPtr = 0;
 
     GpuStats _stats;
+    Watchdog *watchdog = nullptr;
 };
 
 } // namespace stashsim

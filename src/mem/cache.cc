@@ -1,6 +1,7 @@
 #include "mem/cache.hh"
 
 #include "sim/log.hh"
+#include "verify/protocol_checker.hh"
 
 namespace stashsim
 {
@@ -143,6 +144,10 @@ L1Cache::doAccess(Addr line_va, WordMask mask, bool is_store,
             if (!(mask & wordBit(w)))
                 continue;
             line->data.w[w] = store_data->w[w];
+            if (checker) {
+                checker->onStore(line_pa + PhysAddr(w) * wordBytes,
+                                 store_data->w[w]);
+            }
             if (line->st[w] != WordState::Registered) {
                 line->st[w] = WordState::Registered;
                 need_reg |= wordBit(w);
@@ -280,12 +285,28 @@ L1Cache::receive(const Msg &msg)
             // there was no MSHR (late duplicate response); drop.
             return;
         }
+        // Checker: verify only the *demanded* words of this fill.  An
+        // opportunistic whole-line fill may carry words whose new
+        // registration is still in flight (transiently stale at the
+        // LLC); demanded words are race-free under the DRF discipline.
+        WordMask demanded = 0;
+        if (checker) {
+            auto mit = mshrs.find(msg.linePA);
+            if (mit != mshrs.end())
+                demanded = mit->second.requested;
+        }
         for (unsigned w = 0; w < wordsPerLine; ++w) {
             if (!(msg.mask & wordBit(w)))
                 continue;
             if (line->st[w] == WordState::Invalid) {
                 line->data.w[w] = msg.data.w[w];
                 line->st[w] = WordState::Valid;
+                if (demanded & wordBit(w)) {
+                    checker->onFill(
+                        "L1", owner,
+                        msg.linePA + PhysAddr(w) * wordBytes,
+                        msg.data.w[w]);
+                }
             }
             // Registered words hold our own newer data; never
             // overwrite them with a fill.
@@ -357,6 +378,11 @@ L1Cache::selfInvalidate()
         bool any_registered = false;
         for (unsigned w = 0; w < wordsPerLine; ++w) {
             if (line.st[w] == WordState::Valid) {
+                if (checker) {
+                    checker->onSelfInvalidate(
+                        "L1", owner, line.pa + PhysAddr(w) * wordBytes,
+                        line.st[w]);
+                }
                 line.st[w] = WordState::Invalid;
                 ++_stats.selfInvalidations;
             } else if (line.st[w] == WordState::Registered) {
@@ -383,6 +409,23 @@ L1Cache::flushAll()
         }
         if (dirty)
             writebackWords(line, dirty);
+    }
+}
+
+void
+L1Cache::forEachWord(
+    const std::function<void(PhysAddr, WordState, std::uint32_t)> &fn)
+    const
+{
+    for (const Line &line : lines) {
+        if (!line.allocated)
+            continue;
+        for (unsigned w = 0; w < wordsPerLine; ++w) {
+            if (line.st[w] != WordState::Invalid) {
+                fn(line.pa + PhysAddr(w) * wordBytes, line.st[w],
+                   line.data.w[w]);
+            }
+        }
     }
 }
 

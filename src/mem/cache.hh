@@ -40,6 +40,8 @@
 namespace stashsim
 {
 
+class ProtocolChecker;
+
 /**
  * One private L1 cache.
  */
@@ -89,6 +91,17 @@ class L1Cache : public MemObject
 
     /** Looks up the state of a word; Invalid if not present. */
     WordState probe(Addr va);
+
+    /** Shadows stores/fills/self-invalidations against @p c. */
+    void attachChecker(ProtocolChecker *c) { checker = c; }
+
+    /**
+     * Protocol-checker sweep: every readable word of every resident
+     * line.  fn(pa, state, data).
+     */
+    void forEachWord(
+        const std::function<void(PhysAddr, WordState, std::uint32_t)>
+            &fn) const;
 
   private:
     struct Line
@@ -147,6 +160,7 @@ class L1Cache : public MemObject
     std::deque<DeferredAccess> deferred;
     std::uint64_t useClock = 0;
     CacheStats _stats;
+    ProtocolChecker *checker = nullptr;
 };
 
 } // namespace stashsim

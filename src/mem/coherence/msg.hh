@@ -58,6 +58,10 @@ enum class MsgType : std::uint8_t
     DmaWriteAck, //!< LLC -> DMA engine
 };
 
+/** Number of distinct MsgType values (for per-type counters). */
+constexpr unsigned numMsgTypes =
+    unsigned(MsgType::DmaWriteAck) + 1;
+
 /** Printable message-type name. */
 const char *msgTypeName(MsgType t);
 

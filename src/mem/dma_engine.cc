@@ -1,6 +1,8 @@
 #include "mem/dma_engine.hh"
 
 #include "sim/log.hh"
+#include "verify/protocol_checker.hh"
+#include "verify/watchdog.hh"
 
 namespace stashsim
 {
@@ -97,6 +99,12 @@ DmaEngine::store(const TileSpec &tile, LocalAddr base, DoneFn done)
             // Drain: the engine reads each word out of the scratchpad.
             req.data.w[word] = spad.read(local);
             ++_stats.wordsStored;
+            if (checker) {
+                // The DMA write is the point the value becomes
+                // globally visible: commit it to the golden image.
+                checker->onStore(line_pa + PhysAddr(word) * wordBytes,
+                                 req.data.w[word]);
+            }
         }
         pl.fills.clear();
         queued.emplace_back(std::move(req), std::move(pl));
@@ -123,6 +131,11 @@ DmaEngine::receive(const Msg &msg)
                 return false;
             spad.write(local, msg.data.w[word]);
             ++_stats.wordsLoaded;
+            if (checker) {
+                checker->onFill("DMA", owner,
+                                msg.linePA + PhysAddr(word) * wordBytes,
+                                msg.data.w[word]);
+            }
             return true;
         });
         if (!pl.fills.empty())
@@ -137,6 +150,8 @@ DmaEngine::receive(const Msg &msg)
 
     auto x = pl.xfer;
     pending.erase(it);
+    if (watchdog)
+        watchdog->progress();
     pump();
     sim_assert(x->pendingLines > 0);
     if (--x->pendingLines == 0)

@@ -39,6 +39,9 @@
 namespace stashsim
 {
 
+class ProtocolChecker;
+class Watchdog;
+
 /**
  * One per-CU DMA engine.
  */
@@ -68,6 +71,12 @@ class DmaEngine : public MemObject
     void receive(const Msg &msg) override;
 
     const DmaStats &stats() const { return _stats; }
+
+    /** Shadows DMA stores and fills against @p c. */
+    void attachChecker(ProtocolChecker *c) { checker = c; }
+
+    /** Reports per-line completions as forward progress to @p w. */
+    void setWatchdog(Watchdog *w) { watchdog = w; }
 
   private:
     struct Transfer
@@ -105,6 +114,8 @@ class DmaEngine : public MemObject
     /** Line requests waiting for a free slot. */
     std::vector<std::pair<Msg, PendingLine>> queued;
     DmaStats _stats;
+    ProtocolChecker *checker = nullptr;
+    Watchdog *watchdog = nullptr;
 };
 
 } // namespace stashsim

@@ -1,6 +1,9 @@
 #include "mem/fabric.hh"
 
+#include <ostream>
+
 #include "sim/log.hh"
+#include "verify/fault_injector.hh"
 
 namespace stashsim
 {
@@ -39,8 +42,57 @@ Fabric::send(NodeId src, NodeId dst, Unit unit, Msg msg)
               " for ", msgTypeName(msg.type));
     }
     MemObject *target = it->second;
+    if (dropFilter && dropFilter(src, dst, msg)) {
+        ++droppedMsgs;
+        return;
+    }
+    if (injector) {
+        // The dispatch closure owns a copy of the message: the
+        // injector may invoke it now, later, or twice (duplication).
+        const Msg &m = msg;
+        injector->inject(src, dst, m,
+                         [this, src, dst, target, msg]() {
+                             dispatch(src, dst, target, msg);
+                         });
+        return;
+    }
+    dispatch(src, dst, target, std::move(msg));
+}
+
+void
+Fabric::dispatch(NodeId src, NodeId dst, MemObject *target, Msg msg)
+{
+    ++_sent[unsigned(msg.type)];
     mesh.send(src, dst, msgBytes(msg), msgClassOf(msg.type),
-              [target, msg = std::move(msg)]() { target->receive(msg); });
+              [this, target, msg = std::move(msg)]() {
+                  ++_delivered[unsigned(msg.type)];
+                  target->receive(msg);
+              });
+}
+
+std::uint64_t
+Fabric::totalInFlight() const
+{
+    std::uint64_t n = 0;
+    for (unsigned t = 0; t < numMsgTypes; ++t)
+        n += _sent[t] - _delivered[t];
+    return n;
+}
+
+void
+Fabric::dumpState(std::ostream &os) const
+{
+    os << "fabric: " << totalInFlight() << " message(s) in flight";
+    if (droppedMsgs)
+        os << ", " << droppedMsgs << " dropped by test filter";
+    os << "\n";
+    for (unsigned t = 0; t < numMsgTypes; ++t) {
+        if (_sent[t] == _delivered[t])
+            continue;
+        os << "  " << msgTypeName(MsgType(t)) << ": "
+           << _sent[t] - _delivered[t] << " in flight (" << _sent[t]
+           << " sent, " << _delivered[t] << " delivered)\n";
+    }
 }
 
 } // namespace stashsim

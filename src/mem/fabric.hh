@@ -15,6 +15,10 @@
 #ifndef STASHSIM_MEM_FABRIC_HH
 #define STASHSIM_MEM_FABRIC_HH
 
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
 #include <map>
 #include <vector>
 
@@ -24,6 +28,8 @@
 
 namespace stashsim
 {
+
+class FaultInjector;
 
 /**
  * Interface for anything that can receive coherence messages.
@@ -71,10 +77,43 @@ class Fabric
         send(src, nodeOfCore(msg.requester), msg.requesterUnit, msg);
     }
 
+    /** Routes every subsequent message through @p inj (may be null). */
+    void setFaultInjector(FaultInjector *inj) { injector = inj; }
+
+    /**
+     * Test-only message filter: messages for which it returns true
+     * are silently dropped (used to seed protocol bugs on purpose).
+     */
+    using DropFilter =
+        std::function<bool(NodeId src, NodeId dst, const Msg &msg)>;
+    void setTestDropFilter(DropFilter f) { dropFilter = std::move(f); }
+
+    /** Messages of type @p t sent but not yet delivered. */
+    std::uint64_t
+    inFlight(MsgType t) const
+    {
+        return _sent[unsigned(t)] - _delivered[unsigned(t)];
+    }
+
+    /** Total messages sent but not yet delivered. */
+    std::uint64_t totalInFlight() const;
+
+    /** Writes the per-type in-flight table (watchdog diagnostics). */
+    void dumpState(std::ostream &os) const;
+
   private:
+    /** Hands one (possibly perturbed) message to the mesh. */
+    void dispatch(NodeId src, NodeId dst, MemObject *target, Msg msg);
+
     Mesh &mesh;
     std::map<std::pair<NodeId, unsigned>, MemObject *> objects;
     std::vector<NodeId> coreNodes;
+
+    FaultInjector *injector = nullptr;
+    DropFilter dropFilter;
+    std::uint64_t droppedMsgs = 0;
+    std::array<std::uint64_t, numMsgTypes> _sent{};
+    std::array<std::uint64_t, numMsgTypes> _delivered{};
 };
 
 } // namespace stashsim

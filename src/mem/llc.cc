@@ -361,6 +361,31 @@ LlcBank::flushDirtyToMemory()
     }
 }
 
+void
+LlcBank::forEachDirectoryWord(
+    const std::function<void(PhysAddr, WordState, std::uint32_t, CoreId,
+                             bool, unsigned)> &fn) const
+{
+    for (const Line &line : lines) {
+        if (!line.allocated || line.fillPending)
+            continue;
+        for (unsigned w = 0; w < wordsPerLine; ++w) {
+            const WordEntry &we = line.words[w];
+            fn(line.pa + PhysAddr(w) * wordBytes, we.state, we.data,
+               we.owner, we.ownerIsStash, we.mapIdx);
+        }
+    }
+}
+
+std::size_t
+LlcBank::pendingFillLines() const
+{
+    std::size_t n = 0;
+    for (const Line &line : lines)
+        n += line.allocated && line.fillPending ? 1 : 0;
+    return n;
+}
+
 CoreId
 LlcBank::ownerOf(PhysAddr pa)
 {

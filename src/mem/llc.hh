@@ -67,6 +67,18 @@ class LlcBank : public MemObject
     /** Registry probe for tests: owner of the word at @p pa. */
     CoreId ownerOf(PhysAddr pa);
 
+    /**
+     * Protocol-checker sweep: every word of every resident line
+     * (skipping lines whose fill is still pending).
+     * fn(pa, state, data, owner, ownerIsStash, mapIdx).
+     */
+    void forEachDirectoryWord(
+        const std::function<void(PhysAddr, WordState, std::uint32_t,
+                                 CoreId, bool, unsigned)> &fn) const;
+
+    /** Lines whose DRAM fill has not resolved yet. */
+    std::size_t pendingFillLines() const;
+
   private:
     /** Per-word registry entry. */
     struct WordEntry

@@ -20,6 +20,17 @@ PageTable::translate(Addr va)
 }
 
 bool
+PageTable::lookup(Addr va, PhysAddr *pa) const
+{
+    const Addr vpage = pageBase(va);
+    auto it = vToP.find(vpage);
+    if (it == vToP.end())
+        return false;
+    *pa = it->second + (va - vpage);
+    return true;
+}
+
+bool
 PageTable::reverse(PhysAddr pa, Addr *va) const
 {
     const PhysAddr ppage = pa & ~PhysAddr{pageBytes - 1};

@@ -33,6 +33,12 @@ class PageTable
     PhysAddr translate(Addr va);
 
     /**
+     * Side-effect-free translation: no first-touch allocation.
+     * @return true and sets @p pa when the page is already mapped.
+     */
+    bool lookup(Addr va, PhysAddr *pa) const;
+
+    /**
      * Reverse-translates a physical address.
      * @return true and sets @p va when the page is mapped.
      */

@@ -77,6 +77,7 @@ class Mesh
 
     /** Per-test access to routers. */
     Router &router(NodeId n) { return routers.at(n); }
+    const Router &router(NodeId n) const { return routers.at(n); }
 
   private:
     unsigned nodeX(NodeId n) const { return n % params.width; }

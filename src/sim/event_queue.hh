@@ -58,6 +58,13 @@ class EventQueue
     /** Number of pending events. */
     std::size_t size() const { return events.size(); }
 
+    /** Tick of the earliest pending event (curTick when empty). */
+    Tick
+    nextTick() const
+    {
+        return events.empty() ? _curTick : events.top().when;
+    }
+
     /**
      * Runs events until the queue drains or curTick would exceed
      * @p max_tick.

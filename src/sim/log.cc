@@ -3,13 +3,68 @@
 #include <cstdlib>
 #include <iostream>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace stashsim
 {
 
+namespace
+{
+
+std::vector<std::pair<std::size_t, DiagnosticHook>> &
+diagnosticHooks()
+{
+    static std::vector<std::pair<std::size_t, DiagnosticHook>> hooks;
+    return hooks;
+}
+
+std::size_t nextHookId = 1;
+
+} // namespace
+
+std::size_t
+registerDiagnosticHook(DiagnosticHook hook)
+{
+    const std::size_t id = nextHookId++;
+    diagnosticHooks().emplace_back(id, std::move(hook));
+    return id;
+}
+
+void
+unregisterDiagnosticHook(std::size_t id)
+{
+    auto &hooks = diagnosticHooks();
+    for (auto it = hooks.begin(); it != hooks.end(); ++it) {
+        if (it->first == id) {
+            hooks.erase(it);
+            return;
+        }
+    }
+}
+
+void
+flushDiagnosticHooks()
+{
+    // Reentrancy guard: a hook that panics (or a panic inside a
+    // panic) must not flush again.
+    static bool flushing = false;
+    if (flushing)
+        return;
+    flushing = true;
+    // Index-based loop: a hook may (un)register other hooks.
+    auto &hooks = diagnosticHooks();
+    for (std::size_t i = 0; i < hooks.size(); ++i) {
+        if (hooks[i].second)
+            hooks[i].second();
+    }
+    flushing = false;
+}
+
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
+    flushDiagnosticHooks();
     std::cerr << "panic: " << msg << "\n  at " << file << ":" << line
               << std::endl;
     std::abort();
@@ -18,6 +73,7 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
+    flushDiagnosticHooks();
     std::cerr << "fatal: " << msg << "\n  at " << file << ":" << line
               << std::endl;
     // Throw rather than exit so tests can assert on fatal conditions.

@@ -9,12 +9,18 @@
  *            exits with an error code.
  * warn()   - something is suspicious but simulation continues.
  * inform() - purely informational.
+ *
+ * Components can register diagnostic hooks (dump callbacks); both
+ * panic() and fatal() flush every registered hook once before
+ * aborting/throwing, so a watchdog or protocol-checker state dump
+ * fires even when the failure originates elsewhere.
  */
 
 #ifndef STASHSIM_SIM_LOG_HH
 #define STASHSIM_SIM_LOG_HH
 
 #include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -46,6 +52,25 @@ logFormat(Args &&...args)
  * Returns true when @p pa falls in the traced line.
  */
 bool tracePA(std::uint64_t pa);
+
+/** A diagnostic dump callback flushed on panic()/fatal(). */
+using DiagnosticHook = std::function<void()>;
+
+/**
+ * Registers @p hook to run (once) before any panic/fatal failure.
+ * @return an id for unregisterDiagnosticHook.
+ */
+std::size_t registerDiagnosticHook(DiagnosticHook hook);
+
+/** Removes a previously registered hook (owners call from dtors). */
+void unregisterDiagnosticHook(std::size_t id);
+
+/**
+ * Runs every registered hook, in registration order.  Reentrancy-
+ * guarded: a hook that itself panics does not recurse.  Called
+ * automatically by panic()/fatal(); exposed for tests.
+ */
+void flushDiagnosticHooks();
 
 } // namespace stashsim
 

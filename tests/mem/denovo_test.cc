@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Edge-case tests for the DeNovo word-state helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mem/coherence/denovo.hh"
+#include "mem/coherence/msg.hh"
+
+namespace stashsim
+{
+namespace
+{
+
+TEST(WordStateTest, NamesEveryState)
+{
+    EXPECT_STREQ(wordStateName(WordState::Invalid), "Invalid");
+    EXPECT_STREQ(wordStateName(WordState::Valid), "Valid");
+    EXPECT_STREQ(wordStateName(WordState::Registered), "Registered");
+}
+
+TEST(WordStateTest, OutOfRangeStateNamesSafely)
+{
+    // A corrupted state byte must still print (diagnostics run on the
+    // failure path, where crashing the printer would mask the bug).
+    EXPECT_STREQ(wordStateName(WordState(0xff)), "?");
+}
+
+TEST(WordStateTest, ReadablePredicate)
+{
+    EXPECT_FALSE(readable(WordState::Invalid));
+    EXPECT_TRUE(readable(WordState::Valid));
+    EXPECT_TRUE(readable(WordState::Registered));
+}
+
+TEST(WordStateTest, WritableOnlyWhenRegistered)
+{
+    EXPECT_FALSE(writable(WordState::Invalid));
+    EXPECT_FALSE(writable(WordState::Valid));
+    EXPECT_TRUE(writable(WordState::Registered));
+}
+
+TEST(WordStateTest, WritableImpliesReadable)
+{
+    for (auto s : {WordState::Invalid, WordState::Valid,
+                   WordState::Registered}) {
+        if (writable(s)) {
+            EXPECT_TRUE(readable(s));
+        }
+    }
+}
+
+TEST(MsgTypeTest, EveryTypeHasAName)
+{
+    for (unsigned t = 0; t < numMsgTypes; ++t)
+        EXPECT_STRNE(msgTypeName(MsgType(t)), "?");
+    EXPECT_STREQ(msgTypeName(MsgType(numMsgTypes)), "?");
+}
+
+} // namespace
+} // namespace stashsim

@@ -132,6 +132,73 @@ TEST(ClockTest, NextEdgeAlignsUp)
     EXPECT_EQ(gpu.nextEdge(21), 40u);
 }
 
+TEST(EventQueueTest, EqualTickAndPriorityPreservesInsertionOrder)
+{
+    // The determinism guarantee the whole simulator rests on: at one
+    // (tick, priority) pair, execution order is insertion order, even
+    // with other priorities interleaved between the insertions.
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i) {
+        eq.schedule(7, [&order, i]() { order.push_back(i); },
+                    i % 2 ? EventQueue::PriStats
+                          : EventQueue::PriDelivery);
+    }
+    eq.run();
+    ASSERT_EQ(order.size(), 16u);
+    // All PriDelivery insertions first (in insertion order), then all
+    // PriStats insertions (in insertion order).
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(order[i], 2 * i);
+        EXPECT_EQ(order[8 + i], 2 * i + 1);
+    }
+}
+
+TEST(EventQueueTest, EventsInsertedDuringRunKeepFifoOrder)
+{
+    // An event scheduling same-tick work must see it run after work
+    // already queued at that (tick, priority).
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&]() {
+        order.push_back(1);
+        eq.schedule(5, [&]() { order.push_back(3); });
+    });
+    eq.schedule(5, [&]() { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, NextTickReportsEarliestPendingEvent)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.nextTick(), eq.curTick());
+    eq.schedule(40, []() {});
+    eq.schedule(15, []() {});
+    EXPECT_EQ(eq.nextTick(), 15u);
+    eq.run(15);
+    EXPECT_EQ(eq.nextTick(), 40u);
+    eq.run();
+    EXPECT_EQ(eq.nextTick(), eq.curTick());
+}
+
+TEST(EventQueueTest, ResetRestartsSequenceDeterminism)
+{
+    // After reset(), a rebuilt schedule must replay identically.
+    auto record = [](EventQueue &eq) {
+        std::vector<int> order;
+        for (int i = 0; i < 6; ++i)
+            eq.schedule(3, [&order, i]() { order.push_back(i); });
+        eq.run();
+        return order;
+    };
+    EventQueue eq;
+    const auto first = record(eq);
+    eq.reset();
+    const auto second = record(eq);
+    EXPECT_EQ(first, second);
+}
+
 /** Property: randomly-ordered events execute in nondecreasing time. */
 TEST(EventQueueTest, PropertyMonotonicExecution)
 {

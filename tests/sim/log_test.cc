@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the diagnostic-hook machinery and fatal() semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/log.hh"
+
+namespace stashsim
+{
+namespace
+{
+
+TEST(LogTest, FatalThrowsWithMessage)
+{
+    try {
+        fatal("broken ", 42);
+        FAIL() << "fatal() returned";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("broken 42"),
+                  std::string::npos);
+    }
+}
+
+TEST(DiagnosticHookTest, FlushRunsHooksInRegistrationOrder)
+{
+    std::vector<int> order;
+    const std::size_t a = registerDiagnosticHook(
+        [&order]() { order.push_back(1); });
+    const std::size_t b = registerDiagnosticHook(
+        [&order]() { order.push_back(2); });
+    flushDiagnosticHooks();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    unregisterDiagnosticHook(a);
+    unregisterDiagnosticHook(b);
+}
+
+TEST(DiagnosticHookTest, UnregisteredHookNoLongerRuns)
+{
+    int fired = 0;
+    const std::size_t id =
+        registerDiagnosticHook([&fired]() { ++fired; });
+    unregisterDiagnosticHook(id);
+    flushDiagnosticHooks();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(DiagnosticHookTest, FatalFlushesHooksExactlyOnce)
+{
+    int fired = 0;
+    const std::size_t id =
+        registerDiagnosticHook([&fired]() { ++fired; });
+    EXPECT_THROW(fatal("with hooks"), std::runtime_error);
+    EXPECT_EQ(fired, 1);
+    unregisterDiagnosticHook(id);
+}
+
+TEST(DiagnosticHookTest, ReentrantFlushDoesNotRecurse)
+{
+    int fired = 0;
+    const std::size_t id = registerDiagnosticHook([&fired]() {
+        ++fired;
+        // A hook that itself fails would re-enter the flush; the
+        // guard must make this a no-op instead of infinite recursion.
+        flushDiagnosticHooks();
+    });
+    flushDiagnosticHooks();
+    EXPECT_EQ(fired, 1);
+    unregisterDiagnosticHook(id);
+}
+
+TEST(DiagnosticHookTest, HookMayRegisterAnotherHookDuringFlush)
+{
+    int late = 0;
+    std::size_t late_id = 0;
+    const std::size_t id = registerDiagnosticHook([&]() {
+        late_id = registerDiagnosticHook([&late]() { ++late; });
+    });
+    // The index-based flush loop also runs hooks appended mid-flush.
+    flushDiagnosticHooks();
+    EXPECT_EQ(late, 1);
+    unregisterDiagnosticHook(id);
+    unregisterDiagnosticHook(late_id);
+}
+
+} // namespace
+} // namespace stashsim

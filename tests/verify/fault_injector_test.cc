@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Fault-injector tests: determinism, per-pair FIFO preservation,
+ * duplication legality, and stats accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "verify/fault_injector.hh"
+
+namespace stashsim
+{
+namespace
+{
+
+VerifyConfig
+injectorConfig(unsigned delay_permille, unsigned dup_permille,
+               std::uint64_t seed = 7)
+{
+    VerifyConfig v;
+    v.faultInjection = true;
+    v.faultSeed = seed;
+    v.faultDelayPermille = delay_permille;
+    v.faultMaxDelayCycles = 50;
+    v.faultDupPermille = dup_permille;
+    v.faultDupDelayCycles = 20;
+    return v;
+}
+
+Msg
+msgOf(MsgType t)
+{
+    Msg m;
+    m.type = t;
+    return m;
+}
+
+TEST(FaultInjectorTest, ZeroRatesDispatchSynchronously)
+{
+    EventQueue eq;
+    FaultInjector fi(eq, injectorConfig(0, 0));
+    bool dispatched = false;
+    fi.inject(0, 1, msgOf(MsgType::ReadReq),
+              [&dispatched]() { dispatched = true; });
+    EXPECT_TRUE(dispatched); // no perturbation, no added latency
+    EXPECT_EQ(fi.faults(), 0u);
+    EXPECT_EQ(fi.stats().messages, 1u);
+}
+
+TEST(FaultInjectorTest, DuplicatesOnlyIdempotentResponses)
+{
+    EXPECT_TRUE(FaultInjector::duplicableType(MsgType::ReadResp));
+    EXPECT_TRUE(FaultInjector::duplicableType(MsgType::RegAck));
+    EXPECT_TRUE(FaultInjector::duplicableType(MsgType::WbAck));
+    // Requests mutate directory state; DMA responses are matched
+    // against a one-shot pending table.  Duplicating any of these
+    // would inject a *protocol-illegal* fault.
+    EXPECT_FALSE(FaultInjector::duplicableType(MsgType::ReadReq));
+    EXPECT_FALSE(FaultInjector::duplicableType(MsgType::RegReq));
+    EXPECT_FALSE(FaultInjector::duplicableType(MsgType::InvReq));
+    EXPECT_FALSE(FaultInjector::duplicableType(MsgType::WbReq));
+    EXPECT_FALSE(FaultInjector::duplicableType(MsgType::FwdReadReq));
+    EXPECT_FALSE(FaultInjector::duplicableType(MsgType::DmaReadResp));
+    EXPECT_FALSE(FaultInjector::duplicableType(MsgType::DmaWriteAck));
+}
+
+TEST(FaultInjectorTest, NeverDuplicatesDmaBoundResponses)
+{
+    // A ReadResp is idempotent at an L1 or a stash, but the DMA
+    // engine matches responses against a one-shot pending table:
+    // responses whose receiver is the DMA must never be duplicated,
+    // whatever their type.
+    EventQueue eq;
+    FaultInjector fi(eq, injectorConfig(0, 1000));
+    Msg m = msgOf(MsgType::ReadResp);
+    m.requesterUnit = Unit::Dma;
+    unsigned deliveries = 0;
+    for (int i = 0; i < 50; ++i)
+        fi.inject(0, 1, m, [&deliveries]() { ++deliveries; });
+    eq.run();
+    EXPECT_EQ(deliveries, 50u);
+    EXPECT_EQ(fi.stats().duplicated, 0u);
+}
+
+TEST(FaultInjectorTest, PreservesPerPairFifoOrder)
+{
+    EventQueue eq;
+    FaultInjector fi(eq, injectorConfig(900, 0));
+    std::vector<int> order;
+    for (int i = 0; i < 200; ++i) {
+        fi.inject(0, 1, msgOf(MsgType::RegReq),
+                  [&order, i]() { order.push_back(i); });
+    }
+    eq.run();
+    ASSERT_EQ(order.size(), 200u);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(order[i], i);
+    EXPECT_GT(fi.stats().delayed, 0u);
+}
+
+TEST(FaultInjectorTest, CrossPairReorderingHappens)
+{
+    EventQueue eq;
+    FaultInjector fi(eq, injectorConfig(500, 0));
+    // Interleave two (src,dst) pairs; with independent delays some
+    // cross-pair inversion must appear over 400 messages.
+    std::vector<std::pair<int, int>> order; // (pair, seq)
+    for (int i = 0; i < 200; ++i) {
+        fi.inject(0, 1, msgOf(MsgType::ReadReq),
+                  [&order, i]() { order.emplace_back(0, i); });
+        fi.inject(2, 3, msgOf(MsgType::ReadReq),
+                  [&order, i]() { order.emplace_back(1, i); });
+    }
+    eq.run();
+    ASSERT_EQ(order.size(), 400u);
+    bool inverted = false;
+    int last_pair = -1, last_seq = -1;
+    for (const auto &[pair, seq] : order) {
+        if (last_pair >= 0 && pair != last_pair && seq < last_seq)
+            inverted = true;
+        last_pair = pair;
+        last_seq = seq;
+    }
+    EXPECT_TRUE(inverted);
+}
+
+TEST(FaultInjectorTest, DuplicationSchedulesExtraDelivery)
+{
+    EventQueue eq;
+    FaultInjector fi(eq, injectorConfig(0, 1000));
+    unsigned deliveries = 0;
+    for (int i = 0; i < 10; ++i) {
+        fi.inject(0, 1, msgOf(MsgType::ReadResp),
+                  [&deliveries]() { ++deliveries; });
+    }
+    eq.run();
+    EXPECT_EQ(deliveries, 20u); // every response delivered twice
+    EXPECT_EQ(fi.stats().duplicated, 10u);
+    // Non-duplicable types stay single even at 100% dup rate.
+    fi.inject(0, 1, msgOf(MsgType::RegReq),
+              [&deliveries]() { ++deliveries; });
+    eq.run();
+    EXPECT_EQ(deliveries, 21u);
+}
+
+TEST(FaultInjectorTest, SameSeedIsBitExactlyReproducible)
+{
+    auto trace = [](std::uint64_t seed) {
+        EventQueue eq;
+        FaultInjector fi(eq, injectorConfig(400, 300, seed));
+        std::vector<std::pair<int, Tick>> deliveries;
+        for (int i = 0; i < 100; ++i) {
+            const MsgType t =
+                i % 3 ? MsgType::ReadResp : MsgType::RegReq;
+            fi.inject(NodeId(i % 4), NodeId(i % 5), msgOf(t),
+                      [&deliveries, &eq, i]() {
+                          deliveries.emplace_back(i, eq.curTick());
+                      });
+        }
+        eq.run();
+        return deliveries;
+    };
+    const auto a = trace(11);
+    const auto b = trace(11);
+    const auto c = trace(12);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+} // namespace
+} // namespace stashsim

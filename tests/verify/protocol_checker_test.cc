@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Protocol-checker tests: clean runs across configurations stay
+ * green; intentionally seeded protocol bugs are caught with
+ * diagnostics naming the offending word and parties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "driver/system.hh"
+#include "verify/protocol_checker.hh"
+#include "workloads/apps.hh"
+#include "workloads/microbench.hh"
+
+namespace stashsim
+{
+namespace
+{
+
+SystemConfig
+checkedConfig(MemOrg org)
+{
+    SystemConfig cfg = SystemConfig::microbenchmarkDefault();
+    cfg.memOrg = org;
+    cfg.verify.protocolChecker = true;
+    cfg.verify.watchdog = true;
+    return cfg;
+}
+
+workloads::MicrobenchConfig
+smallBench(MemOrg org)
+{
+    workloads::MicrobenchConfig mc;
+    mc.org = org;
+    mc.implicitElements = 1024;
+    mc.pollutionElementsA = 2048;
+    mc.pollutionWordsB = 512;
+    mc.onDemandElements = 1024;
+    mc.reuseElements = 1024;
+    mc.reuseKernels = 3;
+    return mc;
+}
+
+TEST(ProtocolCheckerTest, AllMicrobenchesCleanUnderStash)
+{
+    for (const std::string &name : workloads::microbenchmarkNames()) {
+        System sys(checkedConfig(MemOrg::Stash));
+        RunResult r;
+        ASSERT_NO_THROW(
+            r = sys.run(workloads::makeMicrobenchmark(
+                name, smallBench(MemOrg::Stash))))
+            << name;
+        EXPECT_TRUE(r.validated) << name;
+        EXPECT_GT(sys.checker()->auditsRun(), 0u);
+        EXPECT_GT(sys.checker()->storesSeen(), 0u);
+        EXPECT_GT(sys.checker()->trackedWords(), 0u);
+        EXPECT_TRUE(sys.checker()->violationLog().empty());
+    }
+}
+
+TEST(ProtocolCheckerTest, ImplicitCleanUnderCacheAndScratchGD)
+{
+    for (MemOrg org : {MemOrg::Cache, MemOrg::ScratchGD}) {
+        System sys(checkedConfig(org));
+        RunResult r;
+        ASSERT_NO_THROW(r = sys.run(workloads::makeMicrobenchmark(
+                            "Implicit", smallBench(org))));
+        EXPECT_TRUE(r.validated);
+        EXPECT_TRUE(sys.checker()->violationLog().empty());
+    }
+}
+
+TEST(ProtocolCheckerTest, AllApplicationsCleanUnderStash)
+{
+    workloads::AppConfig ac;
+    ac.org = MemOrg::Stash;
+    ac.ludN = 64;
+    ac.bpInputBytes = 8 * 1024;
+    ac.nwN = 128;
+    ac.pfCols = 256 * 16;
+    ac.pfRows = 4;
+    ac.sgemmM = 32;
+    ac.sgemmK = 32;
+    ac.sgemmN = 32;
+    ac.stencilX = 64;
+    ac.stencilY = 64;
+    ac.stencilZ = 2;
+    ac.stencilIters = 2;
+    ac.surfPixels = 128 * 32;
+    for (const std::string &name : workloads::applicationNames()) {
+        SystemConfig cfg = SystemConfig::applicationDefault();
+        cfg.memOrg = MemOrg::Stash;
+        cfg.verify.protocolChecker = true;
+        cfg.verify.watchdog = true;
+        System sys(cfg);
+        RunResult r;
+        ASSERT_NO_THROW(
+            r = sys.run(workloads::makeApplication(name, ac)))
+            << name;
+        EXPECT_TRUE(r.validated) << name;
+        EXPECT_TRUE(sys.checker()->violationLog().empty()) << name;
+    }
+}
+
+TEST(ProtocolCheckerTest, DoubleRegistrationCaughtWithBothParties)
+{
+    // Seed the bug: drop the InvReq that should strip core 1's
+    // registration when core 2 stores the same word.  Both L1s are
+    // left believing they own it — exactly the invariant the checker
+    // audits at the phase drain.
+    SystemConfig cfg = checkedConfig(MemOrg::Cache);
+    cfg.verify.watchdog = false;
+    System sys(cfg);
+
+    bool dropped = false;
+    sys.fabricRef().setTestDropFilter(
+        [&dropped](NodeId, NodeId, const Msg &m) {
+            if (m.type == MsgType::InvReq && !dropped) {
+                dropped = true;
+                return true;
+            }
+            return false;
+        });
+
+    constexpr Addr gbase = 0x400000;
+    Workload wl;
+    wl.name = "double_registration";
+    std::vector<std::vector<CpuOp>> first(1), second(2);
+    first[0].push_back(CpuOp{gbase, true, 5});
+    second[1].push_back(CpuOp{gbase, true, 9});
+    wl.phases.push_back(Phase::cpu(std::move(first)));
+    wl.phases.push_back(Phase::cpu(std::move(second)));
+
+    try {
+        sys.run(std::move(wl));
+        FAIL() << "checker missed the seeded double registration";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("protocol checker"), std::string::npos);
+        EXPECT_NE(what.find("double registration"), std::string::npos);
+        EXPECT_NE(what.find("pa=0x"), std::string::npos);
+        // Both registrants by name: the CPUs are cores 1 and 2 (the
+        // single GPU CU is core 0).
+        EXPECT_NE(what.find("core 1"), std::string::npos);
+        EXPECT_NE(what.find("core 2"), std::string::npos);
+    }
+    EXPECT_TRUE(dropped);
+    EXPECT_FALSE(sys.checker()->violationLog().empty());
+}
+
+TEST(ProtocolCheckerTest, LostWritebackCaught)
+{
+    // Dropping a WbReq leaves the directory pointing at a copy that
+    // no longer exists (or the final image stale) — one of the drain
+    // audits or the final-memory check must fire.
+    SystemConfig cfg = checkedConfig(MemOrg::Cache);
+    cfg.verify.watchdog = false;
+    System sys(cfg);
+
+    bool dropped = false;
+    sys.fabricRef().setTestDropFilter(
+        [&dropped](NodeId, NodeId, const Msg &m) {
+            if (m.type == MsgType::WbReq && !dropped) {
+                dropped = true;
+                return true;
+            }
+            return false;
+        });
+
+    constexpr Addr gbase = 0x500000;
+    Workload wl;
+    wl.name = "lost_writeback";
+    std::vector<std::vector<CpuOp>> work(1);
+    for (unsigned i = 0; i < 16; ++i)
+        work[0].push_back(CpuOp{gbase + i * 4, true, 100 + i});
+    wl.phases.push_back(Phase::cpu(std::move(work)));
+
+    EXPECT_THROW(sys.run(std::move(wl)), std::runtime_error);
+    EXPECT_TRUE(dropped);
+    EXPECT_FALSE(sys.checker()->violationLog().empty());
+}
+
+TEST(ProtocolCheckerTest, StandaloneGoldenTracksStoresAndFills)
+{
+    ProtocolChecker pc;
+    pc.onStore(0x1000, 42);
+    EXPECT_EQ(pc.trackedWords(), 1u);
+    EXPECT_NO_THROW(pc.onFill("L1", 0, 0x1000, 42));
+    EXPECT_THROW(pc.onFill("L1", 0, 0x1000, 43), std::runtime_error);
+}
+
+TEST(ProtocolCheckerTest, OpaqueWordsExemptFromDataChecks)
+{
+    ProtocolChecker pc;
+    pc.onStore(0x2000, 7);
+    pc.onOpaqueStore(0x2000);
+    // Non-coherent data may diverge arbitrarily from any golden
+    // value; the checker must not flag it.
+    EXPECT_NO_THROW(pc.onFill("stash", 0, 0x2000, 999));
+    // A later coherent store makes the word checkable again.
+    pc.onStore(0x2000, 8);
+    EXPECT_THROW(pc.onFill("stash", 0, 0x2000, 999),
+                 std::runtime_error);
+}
+
+TEST(ProtocolCheckerTest, SelfInvalidatingRegisteredWordCaught)
+{
+    ProtocolChecker pc;
+    EXPECT_NO_THROW(
+        pc.onSelfInvalidate("L1", 0, 0x3000, WordState::Valid));
+    try {
+        pc.onSelfInvalidate("stash", 3, 0x3000,
+                            WordState::Registered);
+        FAIL() << "Registered self-invalidation not caught";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("Registered"), std::string::npos);
+        EXPECT_NE(what.find("core 3"), std::string::npos);
+    }
+}
+
+TEST(ProtocolCheckerTest, DirtyDataUnderflowCaught)
+{
+    ProtocolChecker pc;
+    try {
+        pc.onDirtyDataUnderflow(2, 17);
+        FAIL() << "underflow not caught";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("#DirtyData underflow"),
+                  std::string::npos);
+        EXPECT_NE(what.find("map entry 17"), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace stashsim

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Watchdog tests: livelock detection, clean-run silence, deadlock
+ * reporting, diagnostic dumps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "verify/watchdog.hh"
+
+namespace stashsim
+{
+namespace
+{
+
+VerifyConfig
+fastConfig()
+{
+    VerifyConfig v;
+    v.watchdog = true;
+    v.watchdogCheckTicks = 100;
+    v.watchdogStallChecks = 3;
+    return v;
+}
+
+TEST(WatchdogTest, TripsOnLivelock)
+{
+    EventQueue eq;
+    Watchdog wd(eq, fastConfig());
+    wd.beginPhase("livelock");
+
+    // Endless churn that never reports progress — the watchdog's
+    // fatal() is the only way this run terminates.
+    std::function<void()> churn = [&]() { eq.scheduleIn(10, churn); };
+    eq.scheduleIn(10, churn);
+
+    try {
+        eq.run();
+        FAIL() << "watchdog did not trip";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("watchdog"), std::string::npos);
+        EXPECT_NE(what.find("livelock"), std::string::npos);
+    }
+}
+
+TEST(WatchdogTest, StaysQuietWhileProgressing)
+{
+    EventQueue eq;
+    Watchdog wd(eq, fastConfig());
+    wd.beginPhase("healthy");
+
+    // Far more check windows than the stall threshold, but every
+    // window sees progress.
+    unsigned remaining = 100;
+    std::function<void()> work = [&]() {
+        wd.progress();
+        if (--remaining > 0)
+            eq.scheduleIn(60, work);
+    };
+    eq.scheduleIn(60, work);
+
+    EXPECT_NO_THROW(eq.run());
+    wd.endPhase();
+    EXPECT_EQ(wd.progressCount(), 100u);
+}
+
+TEST(WatchdogTest, CheckEventDrainsWithTheQueue)
+{
+    // The periodic check must not keep an idle queue alive forever.
+    EventQueue eq;
+    Watchdog wd(eq, fastConfig());
+    wd.beginPhase("empty");
+    EXPECT_NO_THROW(eq.run());
+    EXPECT_TRUE(eq.empty());
+    wd.endPhase();
+}
+
+TEST(WatchdogTest, EndPhaseDisarmsPendingCheck)
+{
+    EventQueue eq;
+    Watchdog wd(eq, fastConfig());
+    wd.beginPhase("one");
+    wd.endPhase();
+    // The stale check event from phase "one" fires but must neither
+    // trip nor re-arm.
+    EXPECT_NO_THROW(eq.run());
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(WatchdogTest, ReportHangThrowsWithPhaseContext)
+{
+    EventQueue eq;
+    Watchdog wd(eq, fastConfig());
+    wd.beginPhase("gpu kernel");
+    wd.endPhase();
+    try {
+        wd.reportHang("gpu kernel");
+        FAIL() << "reportHang returned";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("watchdog"), std::string::npos);
+        EXPECT_NE(what.find("gpu kernel"), std::string::npos);
+    }
+}
+
+TEST(WatchdogTest, DumpFnRunsWhenTripping)
+{
+    EventQueue eq;
+    Watchdog wd(eq, fastConfig());
+    bool dumped = false;
+    wd.setDumpFn([&dumped](std::ostream &os) {
+        dumped = true;
+        os << "component state\n";
+    });
+    wd.beginPhase("livelock");
+    std::function<void()> churn = [&]() { eq.scheduleIn(10, churn); };
+    eq.scheduleIn(10, churn);
+    EXPECT_THROW(eq.run(), std::runtime_error);
+    EXPECT_TRUE(dumped);
+}
+
+} // namespace
+} // namespace stashsim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The bench library behind the stashbench CLI.
+ *
+ * Each paper table/figure/ablation is one entry in benchList(): a
+ * function that sweeps its run grid (through the SweepDriver, so
+ * --jobs parallelizes it) and returns a stashsim-bench-v1 JSON
+ * document.  The CLI writes each document to BENCH_<name>.json;
+ * renderExperimentsMd() turns a directory of those artifacts back
+ * into EXPERIMENTS.md.
+ *
+ * Document schema (stashsim-bench-v1):
+ *   schema   "stashsim-bench-v1"
+ *   bench    registry name ("fig5")
+ *   title    human title
+ *   scale    "full" | "quick" | "smoke"
+ *   runs     array of run objects:
+ *              workload, config (MemOrg name), label, validated,
+ *              errors[], gpuCycles, instructions,
+ *              energy{gpuCore,l1,local,l2,noc,total},
+ *              flitHops{read,write,writeback,total},
+ *              optional params{...} (ablation knobs),
+ *              optional metrics{...} (bench-specific counters),
+ *              optional stats{...} (full flattened map, --components)
+ *   plus bench-specific top-level fields (configs, workloads,
+ *   baseline, paper, values, ratios).
+ */
+
+#ifndef STASHSIM_BENCH_BENCHES_HH
+#define STASHSIM_BENCH_BENCHES_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "driver/run.hh"
+#include "driver/sweep.hh"
+#include "report/json.hh"
+
+namespace stashbench
+{
+
+using namespace stashsim;
+
+/** Options every bench receives from the CLI. */
+struct BenchContext
+{
+    workloads::Scale scale = workloads::Scale::Full;
+    /** Sweep worker threads; 0 = one per hardware thread. */
+    unsigned jobs = 0;
+    /** Sweep progress stream; nullptr = silent. */
+    std::ostream *progress = nullptr;
+    /** When nonempty, write per-run Chrome traces into this dir. */
+    std::string traceDir;
+    /** Include the full flattened stats map in every run object. */
+    bool components = false;
+};
+
+/** One registered bench. */
+struct BenchInfo
+{
+    const char *name;
+    const char *title;
+    report::JsonValue (*run)(const BenchContext &);
+};
+
+/** Every bench, in EXPERIMENTS.md order. */
+const std::vector<BenchInfo> &benchList();
+
+/** Lookup by name; nullptr when unknown. */
+const BenchInfo *findBench(const std::string &name);
+
+/** True when every run in @p doc passed validation. */
+bool allRunsValidated(const report::JsonValue &doc);
+
+/**
+ * Renders EXPERIMENTS.md content from the BENCH_*.json artifacts in
+ * @p dir.  Missing artifacts fail with a message in @p err.
+ */
+bool renderExperimentsMd(const std::string &dir, std::ostream &os,
+                         std::string &err);
+
+// ---- helpers shared by the bench implementations ----------------
+
+/** New stashsim-bench-v1 document shell. */
+report::JsonValue benchDoc(const BenchContext &ctx, const char *name,
+                           const char *title);
+
+/** The standard run object for one sweep record. */
+report::JsonValue runToJson(const RunRecord &rec, bool components);
+
+/**
+ * Runs @p specs through the SweepDriver with the context's jobs and
+ * progress settings; when the context has a trace dir, each spec is
+ * instrumented with a ChromeTraceSink whose output lands in
+ * TRACE_<bench>_<label>.json.
+ */
+std::vector<RunRecord> sweepSpecs(const BenchContext &ctx,
+                                  const char *bench,
+                                  std::vector<RunSpec> specs);
+
+} // namespace stashbench
+
+#endif // STASHSIM_BENCH_BENCHES_HH

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * The ablation benches: data replication on/off, writeback chunk
+ * granularity, stash-map capacity, miss translation latency, and the
+ * on-demand sparsity sweep.  Each run object carries its knob in
+ * "params" and the bench's discriminating counters in "metrics".
+ */
+
+#include "benches.hh"
+
+#include <algorithm>
+
+#include "workloads/kernel_builder.hh"
+
+namespace stashbench
+{
+
+namespace
+{
+
+report::JsonValue
+stashMetrics(const RunRecord &rec)
+{
+    const StashStats &st = rec.result.stats.stash;
+    report::JsonValue m = report::JsonValue::object();
+    m["replicationHits"] = double(st.replicationHits);
+    m["wordsWrittenBack"] = double(st.wordsWrittenBack);
+    m["mapReplacementStalls"] = double(st.mapReplacementStalls);
+    return m;
+}
+
+} // namespace
+
+report::JsonValue
+runAblationReplication(const BenchContext &ctx)
+{
+    report::JsonValue doc =
+        benchDoc(ctx, "ablation_replication",
+                 findBench("ablation_replication")->title);
+
+    std::vector<RunSpec> specs;
+    std::vector<bool> knob;
+    auto add = [&](const char *name, MemOrg org, bool app, bool opt) {
+        RunSpec spec;
+        spec.workload = name;
+        spec.org = org;
+        spec.scale = ctx.scale;
+        SystemConfig cfg = app ? SystemConfig::applicationDefault()
+                               : SystemConfig::microbenchmarkDefault();
+        cfg.stashReplicationOpt = opt;
+        spec.config = cfg;
+        spec.labelOverride = std::string(name) + "/repl-" +
+                             (opt ? "on" : "off");
+        specs.push_back(std::move(spec));
+        knob.push_back(opt);
+    };
+    for (const char *name : {"Reuse", "On-demand"}) {
+        for (bool opt : {true, false})
+            add(name, MemOrg::Stash, false, opt);
+    }
+    for (const char *name : {"LUD", "SGEMM"}) {
+        for (bool opt : {true, false})
+            add(name, MemOrg::Stash, true, opt);
+    }
+
+    std::vector<RunRecord> records =
+        sweepSpecs(ctx, "ablation_replication", std::move(specs));
+    report::JsonValue runs = report::JsonValue::array();
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        report::JsonValue run = runToJson(records[i], ctx.components);
+        report::JsonValue params = report::JsonValue::object();
+        params["replication"] = bool(knob[i]);
+        run["params"] = std::move(params);
+        run["metrics"] = stashMetrics(records[i]);
+        runs.push(std::move(run));
+    }
+    doc["runs"] = std::move(runs);
+    return doc;
+}
+
+report::JsonValue
+runAblationChunkGranularity(const BenchContext &ctx)
+{
+    report::JsonValue doc =
+        benchDoc(ctx, "ablation_chunk_granularity",
+                 findBench("ablation_chunk_granularity")->title);
+
+    std::vector<RunSpec> specs;
+    std::vector<unsigned> knob;
+    for (const char *name : {"Implicit", "On-demand", "Reuse"}) {
+        for (unsigned chunk : {64u, 128u, 256u}) {
+            RunSpec spec;
+            spec.workload = name;
+            spec.org = MemOrg::Stash;
+            spec.scale = ctx.scale;
+            SystemConfig cfg = SystemConfig::microbenchmarkDefault();
+            cfg.stashChunkBytes = chunk;
+            spec.config = cfg;
+            spec.labelOverride =
+                std::string(name) + "/chunk-" + std::to_string(chunk);
+            specs.push_back(std::move(spec));
+            knob.push_back(chunk);
+        }
+    }
+
+    std::vector<RunRecord> records = sweepSpecs(
+        ctx, "ablation_chunk_granularity", std::move(specs));
+    report::JsonValue runs = report::JsonValue::array();
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        report::JsonValue run = runToJson(records[i], ctx.components);
+        report::JsonValue params = report::JsonValue::object();
+        params["chunkBytes"] = knob[i];
+        run["params"] = std::move(params);
+        run["metrics"] = stashMetrics(records[i]);
+        runs.push(std::move(run));
+    }
+    doc["runs"] = std::move(runs);
+    return doc;
+}
+
+report::JsonValue
+runAblationStashMapSize(const BenchContext &ctx)
+{
+    report::JsonValue doc =
+        benchDoc(ctx, "ablation_stash_map_size",
+                 findBench("ablation_stash_map_size")->title);
+
+    std::vector<RunSpec> specs;
+    std::vector<unsigned> knob;
+    auto add = [&](const char *name, MemOrg org, bool app,
+                   unsigned entries) {
+        RunSpec spec;
+        spec.workload = name;
+        spec.org = org;
+        spec.scale = ctx.scale;
+        SystemConfig cfg = app ? SystemConfig::applicationDefault()
+                               : SystemConfig::microbenchmarkDefault();
+        cfg.stashMapEntries = entries;
+        spec.config = cfg;
+        spec.labelOverride = std::string(name) + "/entries-" +
+                             std::to_string(entries);
+        specs.push_back(std::move(spec));
+        knob.push_back(entries);
+    };
+    for (unsigned entries : {16u, 32u, 64u, 128u})
+        add("Reuse", MemOrg::Stash, false, entries);
+    for (unsigned entries : {16u, 32u, 64u, 128u})
+        add("LUD", MemOrg::StashG, true, entries);
+
+    std::vector<RunRecord> records =
+        sweepSpecs(ctx, "ablation_stash_map_size", std::move(specs));
+    report::JsonValue runs = report::JsonValue::array();
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        report::JsonValue run = runToJson(records[i], ctx.components);
+        report::JsonValue params = report::JsonValue::object();
+        params["mapEntries"] = knob[i];
+        run["params"] = std::move(params);
+        run["metrics"] = stashMetrics(records[i]);
+        runs.push(std::move(run));
+    }
+    doc["runs"] = std::move(runs);
+    return doc;
+}
+
+report::JsonValue
+runAblationTranslationLatency(const BenchContext &ctx)
+{
+    report::JsonValue doc =
+        benchDoc(ctx, "ablation_translation_latency",
+                 findBench("ablation_translation_latency")->title);
+
+    std::vector<RunSpec> specs;
+    std::vector<unsigned> knob;
+    for (const char *name : {"Implicit", "On-demand", "Reuse"}) {
+        for (unsigned xl : {0u, 5u, 10u, 20u, 40u}) {
+            RunSpec spec;
+            spec.workload = name;
+            spec.org = MemOrg::Stash;
+            spec.scale = ctx.scale;
+            SystemConfig cfg = SystemConfig::microbenchmarkDefault();
+            cfg.stashTranslationCycles = xl;
+            spec.config = cfg;
+            spec.labelOverride =
+                std::string(name) + "/xl-" + std::to_string(xl);
+            specs.push_back(std::move(spec));
+            knob.push_back(xl);
+        }
+    }
+
+    std::vector<RunRecord> records = sweepSpecs(
+        ctx, "ablation_translation_latency", std::move(specs));
+    report::JsonValue runs = report::JsonValue::array();
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        report::JsonValue run = runToJson(records[i], ctx.components);
+        report::JsonValue params = report::JsonValue::object();
+        params["translationCycles"] = knob[i];
+        run["params"] = std::move(params);
+        runs.push(std::move(run));
+    }
+    doc["runs"] = std::move(runs);
+    return doc;
+}
+
+namespace
+{
+
+/** On-demand variant touching `density` of 32 lanes per warp. */
+Workload
+makeSparse(MemOrg org, unsigned density, unsigned n)
+{
+    // Built here with the same tile layout as the On-demand
+    // microbenchmark, varying only the touched-lane density.
+    constexpr Addr base = 0x1000'0000;
+    constexpr unsigned object_bytes = 64;
+    const unsigned tpb = 256;
+    const unsigned warps = tpb / 32;
+    const unsigned num_tbs = n / tpb;
+
+    Workload wl;
+    wl.name = "sparsity";
+    wl.init = [=](FunctionalMem &fm) {
+        for (unsigned i = 0; i < n; ++i)
+            fm.writeWord(base + Addr(i) * object_bytes, i);
+    };
+
+    Kernel k;
+    k.name = "sparse_update";
+    for (unsigned tb = 0; tb < num_tbs; ++tb) {
+        TbBuilder b(org, warps);
+        TileUse use;
+        use.tile.globalBase = base + Addr(tb) * tpb * object_bytes;
+        use.tile.fieldSize = wordBytes;
+        use.tile.objectSize = object_bytes;
+        use.tile.rowSize = tpb;
+        use.tile.numStrides = 1;
+        const unsigned t = b.addTile(use);
+        for (unsigned w = 0; w < warps; ++w) {
+            b.compute(w, 1); // the runtime condition
+            std::vector<std::uint32_t> elems;
+            for (unsigned l = 0; l < density; ++l)
+                elems.push_back(w * 32 + (l * 7 + tb) % 32);
+            std::sort(elems.begin(), elems.end());
+            elems.erase(std::unique(elems.begin(), elems.end()),
+                        elems.end());
+            b.accessTile(w, t, elems, false);
+            b.compute(w, 1, 1);
+            b.accessTile(w, t, elems, true);
+        }
+        k.blocks.push_back(b.build());
+    }
+    wl.phases.push_back(Phase::gpu(std::move(k)));
+    return wl;
+}
+
+unsigned
+sparsityElements(workloads::Scale scale)
+{
+    switch (scale) {
+      case workloads::Scale::Full:
+        return 8192;
+      case workloads::Scale::Quick:
+        return 2048;
+      case workloads::Scale::Smoke:
+        return 1024;
+    }
+    return 8192;
+}
+
+} // namespace
+
+report::JsonValue
+runAblationSparsitySweep(const BenchContext &ctx)
+{
+    report::JsonValue doc =
+        benchDoc(ctx, "ablation_sparsity_sweep",
+                 findBench("ablation_sparsity_sweep")->title);
+    const unsigned n = sparsityElements(ctx.scale);
+    doc["elements"] = n;
+
+    std::vector<RunSpec> specs;
+    std::vector<unsigned> knob;
+    for (unsigned density : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        for (MemOrg org : {MemOrg::Stash, MemOrg::ScratchGD}) {
+            RunSpec spec;
+            spec.workload = "sparsity";
+            spec.org = org;
+            spec.scale = ctx.scale;
+            spec.make = [org, density,
+                         n](const workloads::WorkloadParams &) {
+                return makeSparse(org, density, n);
+            };
+            spec.labelOverride = std::string("density-") +
+                                 std::to_string(density) + "/" +
+                                 memOrgName(org);
+            specs.push_back(std::move(spec));
+            knob.push_back(density);
+        }
+    }
+
+    std::vector<RunRecord> records =
+        sweepSpecs(ctx, "ablation_sparsity_sweep", std::move(specs));
+    report::JsonValue runs = report::JsonValue::array();
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        report::JsonValue run = runToJson(records[i], ctx.components);
+        report::JsonValue params = report::JsonValue::object();
+        params["density"] = knob[i];
+        run["params"] = std::move(params);
+        runs.push(std::move(run));
+    }
+    doc["runs"] = std::move(runs);
+
+    report::JsonValue paper = report::JsonValue::object();
+    report::JsonValue notes = report::JsonValue::array();
+    notes.push("paper reference at 1/32: stash has ~48% lower "
+               "traffic and energy than DMA");
+    paper["notes"] = std::move(notes);
+    doc["paper"] = std::move(paper);
+    return doc;
+}
+
+} // namespace stashbench

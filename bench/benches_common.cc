@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Shared bench plumbing: the registry, the document/run JSON
+ * builders, and the traced sweep wrapper.
+ */
+
+#include "benches.hh"
+
+#include <fstream>
+#include <memory>
+
+#include "report/trace.hh"
+
+namespace stashbench
+{
+
+// Implemented in benches_figs.cc / benches_ablation.cc.
+report::JsonValue runTable3(const BenchContext &ctx);
+report::JsonValue runFig5(const BenchContext &ctx);
+report::JsonValue runFig6(const BenchContext &ctx);
+report::JsonValue runAblationReplication(const BenchContext &ctx);
+report::JsonValue runAblationChunkGranularity(const BenchContext &ctx);
+report::JsonValue runAblationStashMapSize(const BenchContext &ctx);
+report::JsonValue runAblationTranslationLatency(const BenchContext &ctx);
+report::JsonValue runAblationSparsitySweep(const BenchContext &ctx);
+
+const std::vector<BenchInfo> &
+benchList()
+{
+    static const std::vector<BenchInfo> benches = {
+        {"table3", "Table 3: per-access energy of the hardware units",
+         runTable3},
+        {"fig5",
+         "Figure 5: microbenchmark comparison (Implicit / Pollution "
+         "/ On-demand / Reuse)",
+         runFig5},
+        {"fig6",
+         "Figure 6: application comparison (7 GPU applications, "
+         "15 CUs + 1 CPU)",
+         runFig6},
+        {"ablation_replication",
+         "Ablation: stash data-replication optimization (Section 4.5)",
+         runAblationReplication},
+        {"ablation_chunk_granularity",
+         "Ablation: stash writeback chunk granularity",
+         runAblationChunkGranularity},
+        {"ablation_stash_map_size", "Ablation: stash-map entries",
+         runAblationStashMapSize},
+        {"ablation_translation_latency",
+         "Ablation: stash miss translation latency",
+         runAblationTranslationLatency},
+        {"ablation_sparsity_sweep",
+         "Ablation: on-demand sparsity sweep (stash/DMA crossover)",
+         runAblationSparsitySweep},
+    };
+    return benches;
+}
+
+const BenchInfo *
+findBench(const std::string &name)
+{
+    for (const BenchInfo &b : benchList()) {
+        if (name == b.name)
+            return &b;
+    }
+    return nullptr;
+}
+
+bool
+allRunsValidated(const report::JsonValue &doc)
+{
+    const report::JsonValue *runs = doc.find("runs");
+    if (!runs || runs->kind() != report::JsonValue::Kind::Array)
+        return true;
+    for (std::size_t i = 0; i < runs->size(); ++i) {
+        const report::JsonValue *v = runs->at(i).find("validated");
+        if (v && !v->asBool())
+            return false;
+    }
+    return true;
+}
+
+report::JsonValue
+benchDoc(const BenchContext &ctx, const char *name, const char *title)
+{
+    report::JsonValue doc = report::JsonValue::object();
+    doc["schema"] = "stashsim-bench-v1";
+    doc["bench"] = name;
+    doc["title"] = title;
+    doc["scale"] = workloads::scaleName(ctx.scale);
+    return doc;
+}
+
+report::JsonValue
+runToJson(const RunRecord &rec, bool components)
+{
+    const RunResult &r = rec.result;
+    report::JsonValue run = report::JsonValue::object();
+    run["workload"] = rec.spec.workload;
+    run["config"] = memOrgName(rec.spec.org);
+    run["label"] = rec.spec.label();
+    run["validated"] = r.validated;
+    report::JsonValue errors = report::JsonValue::array();
+    for (const std::string &e : r.errors)
+        errors.push(e);
+    run["errors"] = std::move(errors);
+    run["gpuCycles"] = double(r.gpuCycles);
+    run["instructions"] = double(r.stats.gpu.instructions);
+
+    report::JsonValue energy = report::JsonValue::object();
+    energy["gpuCore"] = r.energy.gpuCore;
+    energy["l1"] = r.energy.l1;
+    energy["local"] = r.energy.local;
+    energy["l2"] = r.energy.l2;
+    energy["noc"] = r.energy.noc;
+    energy["total"] = r.energy.total();
+    run["energy"] = std::move(energy);
+
+    report::JsonValue flits = report::JsonValue::object();
+    flits["read"] = double(r.stats.noc.flitHops[0]);
+    flits["write"] = double(r.stats.noc.flitHops[1]);
+    flits["writeback"] = double(r.stats.noc.flitHops[2]);
+    flits["total"] = double(r.stats.noc.totalFlitHops());
+    run["flitHops"] = std::move(flits);
+
+    if (components) {
+        report::JsonValue stats = report::JsonValue::object();
+        for (const auto &[key, value] : r.stats.flatten())
+            stats[key] = value;
+        run["stats"] = std::move(stats);
+    }
+    return run;
+}
+
+namespace
+{
+
+std::string
+traceFileLabel(const std::string &label)
+{
+    std::string out = label;
+    for (char &c : out) {
+        if (c == '/' || c == ' ')
+            c = '_';
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<RunRecord>
+sweepSpecs(const BenchContext &ctx, const char *bench,
+           std::vector<RunSpec> specs)
+{
+    if (!ctx.traceDir.empty()) {
+        for (RunSpec &spec : specs) {
+            const std::string path = ctx.traceDir + "/TRACE_" +
+                                     bench + "_" +
+                                     traceFileLabel(spec.label()) +
+                                     ".json";
+            auto sink =
+                std::make_shared<report::ChromeTraceSink>(spec.label());
+            spec.instrument = [sink](System &sys) {
+                sink->trackCounter("gpu.instructions", [&sys]() {
+                    return double(
+                        sys.statsSnapshot().gpu.instructions);
+                });
+                sink->trackCounter("noc.flitHops.total", [&sys]() {
+                    return double(
+                        sys.statsSnapshot().noc.totalFlitHops());
+                });
+                sys.eventQueue().addPhaseListener(sink.get());
+            };
+            spec.finish = [sink, path](System &,
+                                       const RunResult &) {
+                std::ofstream os(path);
+                if (os)
+                    sink->writeTo(os);
+            };
+        }
+    }
+    SweepOptions opts;
+    opts.threads = ctx.jobs;
+    opts.progress = ctx.progress;
+    return SweepDriver(opts).run(std::move(specs));
+}
+
+} // namespace stashbench

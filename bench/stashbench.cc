@@ -1,0 +1,165 @@
+/**
+ * @file
+ * stashbench: the single bench CLI.
+ *
+ * Replaces the per-figure bench binaries: every paper table, figure,
+ * and ablation is a named bench (see --list) that sweeps its run
+ * grid — in parallel with --jobs — and writes a BENCH_<name>.json
+ * artifact.  --render-md regenerates EXPERIMENTS.md from those
+ * artifacts.  Exits nonzero when any run fails validation.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "benches.hh"
+#include "driver/bench_args.hh"
+#include "driver/sweep.hh"
+#include "workloads/workload_factory.hh"
+
+namespace
+{
+
+using namespace stashsim;
+using namespace stashbench;
+
+int
+listBenches()
+{
+    std::printf("%-30s %s\n", "bench", "title");
+    for (const BenchInfo &b : benchList())
+        std::printf("%-30s %s\n", b.name, b.title);
+    return 0;
+}
+
+int
+listWorkloads()
+{
+    std::printf("%-12s %-15s %s\n", "workload", "kind", "description");
+    for (const auto &info :
+         workloads::WorkloadFactory::instance().list()) {
+        std::printf("%-12s %-15s %s\n", info.name.c_str(),
+                    info.kindName(), info.description.c_str());
+    }
+    return 0;
+}
+
+int
+renderMarkdown(const BenchArgs &args)
+{
+    std::string err;
+    if (args.renderMd == "-") {
+        if (!renderExperimentsMd(args.outDir, std::cout, err)) {
+            std::fprintf(stderr, "stashbench: %s\n", err.c_str());
+            return 1;
+        }
+        return 0;
+    }
+    std::ofstream os(args.renderMd);
+    if (!os) {
+        std::fprintf(stderr, "stashbench: cannot write %s\n",
+                     args.renderMd.c_str());
+        return 1;
+    }
+    if (!renderExperimentsMd(args.outDir, os, err)) {
+        std::fprintf(stderr, "stashbench: %s\n", err.c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "rendered %s from %s/BENCH_*.json\n",
+                 args.renderMd.c_str(), args.outDir.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args;
+    std::string err;
+    if (!BenchArgs::parse(argc, argv, args, err)) {
+        std::fprintf(stderr, "stashbench: %s\n%s", err.c_str(),
+                     BenchArgs::usage("stashbench").c_str());
+        return 2;
+    }
+    if (args.help) {
+        std::fputs(BenchArgs::usage("stashbench").c_str(), stdout);
+        return 0;
+    }
+    if (args.list)
+        return listBenches();
+    if (args.listWorkloads)
+        return listWorkloads();
+    // --render-md alone renders from existing artifacts; with bench
+    // names it refreshes those artifacts first.
+    if (!args.renderMd.empty() && args.benches.empty())
+        return renderMarkdown(args);
+
+    std::vector<const BenchInfo *> selected;
+    if (args.benches.empty()) {
+        for (const BenchInfo &b : benchList())
+            selected.push_back(&b);
+    } else {
+        for (const std::string &name : args.benches) {
+            const BenchInfo *b = findBench(name);
+            if (!b) {
+                std::fprintf(stderr,
+                             "stashbench: unknown bench '%s' "
+                             "(--list shows the choices)\n",
+                             name.c_str());
+                return 2;
+            }
+            selected.push_back(b);
+        }
+    }
+
+    BenchContext ctx;
+    ctx.scale = args.scale;
+    ctx.jobs = args.jobs;
+    ctx.progress = &std::cerr;
+    ctx.traceDir = args.traceDir;
+    ctx.components = args.components;
+
+    const unsigned threads =
+        SweepDriver({args.jobs, nullptr}).threadsFor(unsigned(-1));
+    std::fprintf(stderr,
+                 "stashbench: %zu bench%s, scale %s, %u sweep "
+                 "thread%s\n",
+                 selected.size(), selected.size() == 1 ? "" : "es",
+                 workloads::scaleName(args.scale), threads,
+                 threads == 1 ? "" : "s");
+
+    bool all_ok = true;
+    for (const BenchInfo *b : selected) {
+        std::fprintf(stderr, "=== %s: %s ===\n", b->name, b->title);
+        report::JsonValue doc = b->run(ctx);
+        const std::string path =
+            args.outDir + "/BENCH_" + b->name + ".json";
+        std::ofstream os(path);
+        if (!os) {
+            std::fprintf(stderr, "stashbench: cannot write %s\n",
+                         path.c_str());
+            return 1;
+        }
+        doc.write(os);
+        os << "\n";
+        const bool ok = allRunsValidated(doc);
+        all_ok = all_ok && ok;
+        std::fprintf(stderr, "wrote %s%s\n", path.c_str(),
+                     ok ? "" : " (FAILED validation)");
+    }
+
+    if (!args.renderMd.empty()) {
+        const int rc = renderMarkdown(args);
+        if (rc != 0)
+            return rc;
+    }
+    if (!all_ok) {
+        std::fprintf(stderr,
+                     "stashbench: one or more runs failed "
+                     "validation\n");
+        return 1;
+    }
+    return 0;
+}

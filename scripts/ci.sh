@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
 # Tier-1 CI: configure, build, and run the full test suite twice —
-# once plain, once under AddressSanitizer + UndefinedBehaviorSanitizer.
+# once plain, once under AddressSanitizer + UndefinedBehaviorSanitizer —
+# then run the quick-scale benches and archive their JSON artifacts.
 #
 # Usage: scripts/ci.sh [jobs]
 set -eu
@@ -22,4 +23,11 @@ run_suite() {
 run_suite "${root}/build"
 run_suite "${root}/build-san" -DSTASHSIM_SANITIZE=address,undefined
 
-echo "=== CI passed (plain + ASan/UBSan) ==="
+artifacts="${root}/build/bench-artifacts"
+echo "=== stashbench --quick (artifacts -> ${artifacts}) ==="
+mkdir -p "${artifacts}"
+"${root}/build/bench/stashbench" --quick --jobs "${jobs}" \
+    --out "${artifacts}"
+ls -l "${artifacts}"/BENCH_*.json
+
+echo "=== CI passed (plain + ASan/UBSan + quick benches) ==="

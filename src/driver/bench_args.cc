@@ -1,0 +1,114 @@
+#include "driver/bench_args.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace stashsim
+{
+
+namespace
+{
+
+bool
+needsValue(int i, int argc, const char *flag, std::string &err)
+{
+    if (i + 1 < argc)
+        return true;
+    err = std::string(flag) + " needs a value";
+    return false;
+}
+
+} // namespace
+
+bool
+BenchArgs::parse(int argc, char **argv, BenchArgs &out,
+                 std::string &err)
+{
+    using workloads::Scale;
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strcmp(a, "--quick") == 0) {
+            out.scale = Scale::Quick;
+        } else if (std::strcmp(a, "--smoke") == 0) {
+            out.scale = Scale::Smoke;
+        } else if (std::strcmp(a, "--scale") == 0) {
+            if (!needsValue(i, argc, a, err))
+                return false;
+            const char *v = argv[++i];
+            if (std::strcmp(v, "full") == 0)
+                out.scale = Scale::Full;
+            else if (std::strcmp(v, "quick") == 0)
+                out.scale = Scale::Quick;
+            else if (std::strcmp(v, "smoke") == 0)
+                out.scale = Scale::Smoke;
+            else {
+                err = std::string("unknown scale: ") + v;
+                return false;
+            }
+        } else if (std::strcmp(a, "--jobs") == 0 ||
+                   std::strcmp(a, "-j") == 0) {
+            if (!needsValue(i, argc, a, err))
+                return false;
+            out.jobs = unsigned(std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(a, "--out") == 0) {
+            if (!needsValue(i, argc, a, err))
+                return false;
+            out.outDir = argv[++i];
+        } else if (std::strcmp(a, "--trace") == 0) {
+            if (!needsValue(i, argc, a, err))
+                return false;
+            out.traceDir = argv[++i];
+        } else if (std::strcmp(a, "--render-md") == 0) {
+            if (!needsValue(i, argc, a, err))
+                return false;
+            out.renderMd = argv[++i];
+        } else if (std::strcmp(a, "--components") == 0) {
+            out.components = true;
+        } else if (std::strcmp(a, "--list") == 0) {
+            out.list = true;
+        } else if (std::strcmp(a, "--list-workloads") == 0) {
+            out.listWorkloads = true;
+        } else if (std::strcmp(a, "--help") == 0 ||
+                   std::strcmp(a, "-h") == 0) {
+            out.help = true;
+        } else if (a[0] == '-') {
+            err = std::string("unknown option: ") + a;
+            return false;
+        } else {
+            out.benches.push_back(a);
+        }
+    }
+    return true;
+}
+
+std::string
+BenchArgs::usage(const char *prog)
+{
+    return std::string("usage: ") + prog +
+           " [options] [bench ...]\n"
+           "\n"
+           "options:\n"
+           "  --quick             scaled-down inputs (~4x smaller)\n"
+           "  --smoke             smoke-test inputs (~16x smaller)\n"
+           "  --scale S           full | quick | smoke\n"
+           "  --jobs N, -j N      sweep worker threads "
+           "(default: hardware)\n"
+           "  --out DIR           artifact directory for "
+           "BENCH_<name>.json (default: .)\n"
+           "  --trace DIR         write a Chrome trace per run "
+           "into DIR\n"
+           "  --components        include per-component counters in "
+           "the JSON\n"
+           "  --list              list benches and exit\n"
+           "  --list-workloads    list registered workloads and "
+           "exit\n"
+           "  --render-md FILE    render markdown from BENCH_*.json "
+           "in --out ('-' = stdout);\n"
+           "                      with bench names, refreshes those "
+           "artifacts first\n"
+           "  --help, -h          this text\n"
+           "\n"
+           "With no bench names, every bench runs.\n";
+}
+
+} // namespace stashsim

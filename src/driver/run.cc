@@ -1,0 +1,51 @@
+#include "driver/run.hh"
+
+namespace stashsim
+{
+
+std::string
+RunSpec::label() const
+{
+    if (!labelOverride.empty())
+        return labelOverride;
+    return workload + "/" + memOrgName(org);
+}
+
+RunResult
+runSpec(const RunSpec &spec)
+{
+    using workloads::WorkloadFactory;
+
+    SystemConfig cfg;
+    if (spec.config) {
+        cfg = *spec.config;
+    } else if (spec.make) {
+        // Custom workloads without an explicit configuration get the
+        // microbenchmark machine: single-CU, like every generated
+        // sweep workload so far.
+        cfg = SystemConfig::microbenchmarkDefault();
+    } else {
+        cfg = WorkloadFactory::instance().defaultConfig(spec.workload);
+    }
+    cfg.memOrg = spec.org;
+
+    workloads::WorkloadParams params;
+    params.org = spec.org;
+    params.cpuCores = cfg.numCpuCores;
+    params.scale = spec.scale;
+
+    Workload wl = spec.make
+                      ? spec.make(params)
+                      : WorkloadFactory::instance().make(spec.workload,
+                                                         params);
+
+    System sys(cfg, spec.energy);
+    if (spec.instrument)
+        spec.instrument(sys);
+    RunResult r = sys.run(std::move(wl));
+    if (spec.finish)
+        spec.finish(sys, r);
+    return r;
+}
+
+} // namespace stashsim

@@ -1,0 +1,86 @@
+#include "driver/sweep.hh"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <ostream>
+#include <thread>
+
+namespace stashsim
+{
+
+SweepDriver::SweepDriver(SweepOptions opts) : opts(opts) {}
+
+unsigned
+SweepDriver::threadsFor(std::size_t n) const
+{
+    unsigned t = opts.threads;
+    if (t == 0) {
+        t = std::thread::hardware_concurrency();
+        if (t == 0)
+            t = 1;
+    }
+    if (t > n)
+        t = unsigned(n);
+    return t == 0 ? 1 : t;
+}
+
+std::vector<RunRecord>
+SweepDriver::run(std::vector<RunSpec> specs) const
+{
+    const std::size_t n = specs.size();
+    std::vector<RunRecord> records(n);
+    for (std::size_t i = 0; i < n; ++i)
+        records[i].spec = specs[i];
+    if (n == 0)
+        return records;
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex progressMutex;
+
+    auto worker = [&]() {
+        while (true) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            RunRecord &rec = records[i];
+            try {
+                rec.result = runSpec(rec.spec);
+            } catch (const std::exception &e) {
+                // fatal() throws; keep the sweep going and surface
+                // the failure through the record.
+                rec.result.validated = false;
+                rec.result.errors.push_back(e.what());
+            }
+            const std::size_t k =
+                done.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (opts.progress) {
+                std::lock_guard<std::mutex> lock(progressMutex);
+                *opts.progress
+                    << "[" << k << "/" << n << "] "
+                    << rec.spec.label()
+                    << (rec.result.validated ? " ok"
+                                             : " FAILED validation")
+                    << std::endl;
+            }
+        }
+    };
+
+    const unsigned nthreads = threadsFor(n);
+    if (nthreads <= 1) {
+        worker();
+        return records;
+    }
+
+    std::vector<std::thread> pool;
+    pool.reserve(nthreads);
+    for (unsigned t = 0; t < nthreads; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+    return records;
+}
+
+} // namespace stashsim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * SweepDriver: runs a grid of RunSpecs across a worker pool.
+ *
+ * Every simulated System is self-contained and deterministic, so a
+ * workload x MemOrg x configuration sweep parallelizes embarrassingly:
+ * workers pull the next spec off a shared index and store the result
+ * back by position.  The returned records are therefore in spec
+ * order and bit-identical to a serial run — the determinism test in
+ * tests/driver enforces this — while wall-clock scales with the
+ * core count.
+ */
+
+#ifndef STASHSIM_DRIVER_SWEEP_HH
+#define STASHSIM_DRIVER_SWEEP_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "driver/run.hh"
+
+namespace stashsim
+{
+
+/** SweepDriver knobs. */
+struct SweepOptions
+{
+    /** Worker threads; 0 = one per hardware thread, 1 = serial. */
+    unsigned threads = 0;
+
+    /** Progress stream ("[k/n] label ... ok"); nullptr = silent. */
+    std::ostream *progress = nullptr;
+};
+
+/**
+ * The parallel sweep runner; see file comment.
+ */
+class SweepDriver
+{
+  public:
+    explicit SweepDriver(SweepOptions opts = {});
+
+    /** Worker threads the driver will actually use for @p n specs. */
+    unsigned threadsFor(std::size_t n) const;
+
+    /**
+     * Runs every spec and returns the records in spec order.
+     * Exceptions inside a run (fatal() throws) are captured: the
+     * record's result is marked unvalidated with the message in
+     * errors, and the remaining specs still run.
+     */
+    std::vector<RunRecord> run(std::vector<RunSpec> specs) const;
+
+  private:
+    SweepOptions opts;
+};
+
+} // namespace stashsim
+
+#endif // STASHSIM_DRIVER_SWEEP_HH

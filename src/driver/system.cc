@@ -150,7 +150,43 @@ System::System(const SystemConfig &cfg, const EnergyParams &energy)
         }
         for (auto &c : cpus)
             c.core->setWatchdog(_watchdog.get());
+        // The watchdog arms itself at the driver's drain points.
+        eq.addPhaseListener(_watchdog.get());
     }
+
+    registerComponentStats();
+}
+
+void
+System::registerComponentStats()
+{
+    for (unsigned i = 0; i < gpus.size(); ++i) {
+        const std::string p = "cu" + std::to_string(i);
+        const GpuNode &g = gpus[i];
+        registry.addGroup(p + ".core", &g.cu->stats());
+        registry.addGroup(p + ".l1", &g.l1->stats());
+        if (g.spad)
+            registry.addGroup(p + ".scratch", &g.spad->stats());
+        if (g.stash)
+            registry.addGroup(p + ".stash", &g.stash->stats());
+        if (g.dma)
+            registry.addGroup(p + ".dma", &g.dma->stats());
+    }
+    for (unsigned i = 0; i < cpus.size(); ++i) {
+        const std::string p = "cpu" + std::to_string(i);
+        registry.addGroup(p + ".core", &cpus[i].core->stats());
+        registry.addGroup(p + ".l1", &cpus[i].l1->stats());
+    }
+    for (unsigned i = 0; i < llcBanks.size(); ++i) {
+        registry.addGroup("llc" + std::to_string(i),
+                          &llcBanks[i]->stats());
+    }
+    registry.addGroup("noc", &mesh.stats());
+    registry.addValue("sim.tick",
+                      [this] { return double(eq.curTick()); });
+    registry.addValue("sim.gpuCycles", [this] {
+        return double(eq.curTick() / gpuClockPeriod);
+    });
 }
 
 System::~System() = default;
@@ -159,12 +195,12 @@ void
 System::drain(const char *what)
 {
     // Phases only complete when no component generates further work,
-    // so running the event queue dry is a full drain.
-    if (_watchdog)
-        _watchdog->beginPhase(what);
+    // so running the event queue dry is a full drain.  The phase
+    // boundary is broadcast to every listener (watchdog, trace
+    // sinks) through the event queue.
+    eq.beginPhase(what);
     eq.run();
-    if (_watchdog)
-        _watchdog->endPhase();
+    eq.endPhase();
     // Drain points are the protocol's synchronization points: the
     // only moments the DeNovo invariants must hold globally.
     if (_checker)

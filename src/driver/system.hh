@@ -38,6 +38,7 @@
 #include "mem/scratchpad.hh"
 #include "mem/tlb.hh"
 #include "noc/mesh.hh"
+#include "report/stats_registry.hh"
 #include "sim/event_queue.hh"
 #include "workloads/workload.hh"
 
@@ -76,6 +77,16 @@ class System
 
     /** Aggregated statistics so far (tests may call mid-run). */
     SystemStats statsSnapshot() const;
+
+    /**
+     * Per-component live counter registry: every component instance
+     * registered once, under "cu<i>.*", "cpu<i>.*", "llc<i>.*", and
+     * "noc.*" prefixes.  Sampling it mid-run reads current values.
+     */
+    const report::StatsRegistry &statsRegistry() const
+    {
+        return registry;
+    }
 
     /** @{ Component access for tests. */
     EventQueue &eventQueue() { return eq; }
@@ -121,8 +132,11 @@ class System
     void runCpuPhase(Phase &phase, std::vector<std::string> *errors);
     void drain(const char *what = "drain");
 
+    void registerComponentStats();
+
     SystemConfig cfg;
     EnergyModel energyModel;
+    report::StatsRegistry registry;
 
     EventQueue eq;
     Mesh mesh;

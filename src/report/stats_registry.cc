@@ -1,0 +1,116 @@
+#include "report/stats_registry.hh"
+
+#include <ostream>
+
+#include "sim/log.hh"
+
+namespace stashsim
+{
+namespace report
+{
+
+void
+StatsRegistry::addCounter(const std::string &path, const Counter *c)
+{
+    sim_assert(c != nullptr);
+    entries.push_back(Entry{path, c, nullptr});
+}
+
+void
+StatsRegistry::addValue(const std::string &path,
+                        std::function<double()> fn)
+{
+    sim_assert(fn != nullptr);
+    entries.push_back(Entry{path, nullptr, std::move(fn)});
+}
+
+double
+StatsRegistry::sample(const Entry &e) const
+{
+    return e.counter ? double(*e.counter) : e.fn();
+}
+
+std::map<std::string, double>
+StatsRegistry::values() const
+{
+    std::map<std::string, double> m;
+    for (const auto &e : entries)
+        m[e.path] = sample(e);
+    return m;
+}
+
+JsonValue
+StatsRegistry::toJson() const
+{
+    JsonValue root = JsonValue::object();
+    // Sorted order (values() is a std::map) so sibling keys group
+    // deterministically regardless of registration order.
+    for (const auto &[path, value] : values()) {
+        JsonValue *node = &root;
+        std::size_t start = 0;
+        while (true) {
+            std::size_t dot = path.find('.', start);
+            if (dot == std::string::npos) {
+                (*node)[path.substr(start)] = JsonValue{value};
+                break;
+            }
+            node = &(*node)[path.substr(start, dot - start)];
+            start = dot + 1;
+        }
+    }
+    return root;
+}
+
+void
+StatsRegistry::writeJson(std::ostream &os) const
+{
+    toJson().write(os);
+    os << "\n";
+}
+
+void
+StatsRegistry::writeCsv(std::ostream &os) const
+{
+    os << "stat,value\n";
+    for (const auto &[path, value] : values())
+        os << path << "," << jsonNumberToString(value) << "\n";
+}
+
+void
+registerSystemStats(StatsRegistry &reg, const SystemStats &s)
+{
+    SystemStats::visitGroups(
+        s, [&reg](const char *prefix, const auto &group) {
+            reg.addGroup(prefix, &group);
+        });
+    // Derived totals and scalars, mirroring SystemStats::flatten().
+    reg.addValue("gpuL1.hits",
+                 [&s] { return double(s.gpuL1.hits()); });
+    reg.addValue("gpuL1.misses",
+                 [&s] { return double(s.gpuL1.misses()); });
+    reg.addValue("gpuL1.accesses",
+                 [&s] { return double(s.gpuL1.accesses()); });
+    reg.addValue("cpuL1.hits",
+                 [&s] { return double(s.cpuL1.hits()); });
+    reg.addValue("cpuL1.misses",
+                 [&s] { return double(s.cpuL1.misses()); });
+    reg.addValue("cpuL1.accesses",
+                 [&s] { return double(s.cpuL1.accesses()); });
+    reg.addValue("scratch.accesses",
+                 [&s] { return double(s.scratch.accesses()); });
+    reg.addValue("stash.hits",
+                 [&s] { return double(s.stash.hits()); });
+    reg.addValue("stash.misses",
+                 [&s] { return double(s.stash.misses()); });
+    reg.addValue("stash.accesses",
+                 [&s] { return double(s.stash.accesses()); });
+    reg.addValue("noc.flitHops.total",
+                 [&s] { return double(s.noc.totalFlitHops()); });
+    reg.addValue("sim.gpuCycles",
+                 [&s] { return double(s.gpuCycles); });
+    reg.addValue("sim.numGpuCus",
+                 [&s] { return double(s.numGpuCus); });
+}
+
+} // namespace report
+} // namespace stashsim

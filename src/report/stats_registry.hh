@@ -1,0 +1,107 @@
+/**
+ * @file
+ * StatsRegistry: hierarchical named counters with pluggable sinks.
+ *
+ * Components register their counter groups once (the stats structs in
+ * sim/stats.hh enumerate themselves through visit()); the registry
+ * then snapshots every registered counter by name on demand and
+ * serializes the snapshot as flat key/value pairs, hierarchical JSON
+ * (split on '.'), or CSV.  Registration stores pointers to the live
+ * counters, so a registry built at System construction always reads
+ * current values — no per-access overhead, no hand-written flatten
+ * tables.
+ *
+ * Two uses in the tree:
+ *  - System owns a live registry with one group per component
+ *    instance ("cu0.l1.loadHits", "llc3.fills", ...), for
+ *    fine-grained debugging dumps.
+ *  - registerSystemStats() registers an aggregated SystemStats
+ *    snapshot under the canonical report names — the same keys (and
+ *    values) as SystemStats::flatten(), which the parity test in
+ *    tests/report enforces.  The BENCH_*.json artifacts are produced
+ *    through this path.
+ */
+
+#ifndef STASHSIM_REPORT_STATS_REGISTRY_HH
+#define STASHSIM_REPORT_STATS_REGISTRY_HH
+
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "report/json.hh"
+#include "sim/stats.hh"
+
+namespace stashsim
+{
+namespace report
+{
+
+/**
+ * A name -> counter registry; see file comment.
+ */
+class StatsRegistry
+{
+  public:
+    /** Registers one live counter under @p path ("a.b.c"). */
+    void addCounter(const std::string &path, const Counter *c);
+
+    /** Registers a derived value, sampled through @p fn. */
+    void addValue(const std::string &path, std::function<double()> fn);
+
+    /**
+     * Registers every counter of a stats struct under
+     * "<prefix>.<counter>", via the struct's visit() enumeration.
+     */
+    template <class S>
+    void
+    addGroup(const std::string &prefix, const S *s)
+    {
+        S::visit(*s, [&](const char *name, const Counter &c) {
+            addCounter(prefix.empty() ? std::string(name)
+                                      : prefix + "." + name,
+                       &c);
+        });
+    }
+
+    std::size_t size() const { return entries.size(); }
+
+    /** Samples every entry: sorted flat name -> value map. */
+    std::map<std::string, double> values() const;
+
+    /** Hierarchical JSON: path segments (split on '.') nest. */
+    JsonValue toJson() const;
+
+    /** toJson() to a stream. */
+    void writeJson(std::ostream &os) const;
+
+    /** Flat CSV: "stat,value" header plus one row per entry. */
+    void writeCsv(std::ostream &os) const;
+
+  private:
+    struct Entry
+    {
+        std::string path;
+        const Counter *counter = nullptr;     //!< live counter, or
+        std::function<double()> fn;           //!< derived sampler
+    };
+
+    double sample(const Entry &e) const;
+
+    std::vector<Entry> entries; //!< registration order
+};
+
+/**
+ * Registers an aggregated snapshot under the canonical report names:
+ * every raw counter of every group, the derived totals, and the
+ * sim.* scalars — exactly the key set of SystemStats::flatten().
+ * @p s must outlive the registry.
+ */
+void registerSystemStats(StatsRegistry &reg, const SystemStats &s);
+
+} // namespace report
+} // namespace stashsim
+
+#endif // STASHSIM_REPORT_STATS_REGISTRY_HH

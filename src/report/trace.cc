@@ -1,0 +1,78 @@
+#include "report/trace.hh"
+
+#include <ostream>
+
+namespace stashsim
+{
+namespace report
+{
+
+void
+ChromeTraceSink::phaseBegin(const char *, Tick at)
+{
+    openBegin = at;
+    open = true;
+}
+
+void
+ChromeTraceSink::phaseEnd(const char *name, Tick at)
+{
+    if (!open)
+        return;
+    open = false;
+    Slice s;
+    s.name = name;
+    s.begin = openBegin;
+    s.end = at;
+    for (auto &[cname, fn] : counters)
+        s.samples.push_back(fn());
+    slices.push_back(std::move(s));
+}
+
+void
+ChromeTraceSink::trackCounter(const std::string &name,
+                              std::function<double()> fn)
+{
+    counters.emplace_back(name, std::move(fn));
+}
+
+JsonValue
+ChromeTraceSink::toJson() const
+{
+    JsonValue events = JsonValue::array();
+    for (const auto &s : slices) {
+        JsonValue ev = JsonValue::object();
+        ev["name"] = JsonValue{s.name};
+        ev["ph"] = JsonValue{"X"};
+        ev["ts"] = JsonValue{double(s.begin)};
+        ev["dur"] = JsonValue{double(s.end - s.begin)};
+        ev["pid"] = JsonValue{0};
+        ev["tid"] = JsonValue{lane};
+        events.push(std::move(ev));
+        for (std::size_t i = 0; i < counters.size(); ++i) {
+            JsonValue c = JsonValue::object();
+            c["name"] = JsonValue{counters[i].first};
+            c["ph"] = JsonValue{"C"};
+            c["ts"] = JsonValue{double(s.end)};
+            c["pid"] = JsonValue{0};
+            JsonValue args = JsonValue::object();
+            args["value"] = JsonValue{s.samples[i]};
+            c["args"] = std::move(args);
+            events.push(std::move(c));
+        }
+    }
+    JsonValue root = JsonValue::object();
+    root["traceEvents"] = std::move(events);
+    root["displayTimeUnit"] = JsonValue{"ms"};
+    return root;
+}
+
+void
+ChromeTraceSink::writeTo(std::ostream &os) const
+{
+    toJson().write(os);
+    os << "\n";
+}
+
+} // namespace report
+} // namespace stashsim

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Chrome-trace sink for timeline debugging.
+ *
+ * Subscribes to an EventQueue's phase/drain boundaries and records
+ * each phase as a complete ("X") trace event; optionally samples
+ * registered counters at every phase end as counter ("C") events.
+ * The output loads in chrome://tracing and Perfetto: one row per
+ * simulated System, phases laid out against simulated time (1 tick
+ * rendered as 1 us — tick magnitudes, not wall time).
+ */
+
+#ifndef STASHSIM_REPORT_TRACE_HH
+#define STASHSIM_REPORT_TRACE_HH
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "report/json.hh"
+#include "sim/event_queue.hh"
+
+namespace stashsim
+{
+namespace report
+{
+
+/**
+ * Records phase boundaries as a Chrome trace; see file comment.
+ */
+class ChromeTraceSink : public PhaseListener
+{
+  public:
+    /** @p lane names the trace row (defaults to "system"). */
+    explicit ChromeTraceSink(std::string lane = "system")
+        : lane(std::move(lane))
+    {
+    }
+
+    void phaseBegin(const char *name, Tick at) override;
+    void phaseEnd(const char *name, Tick at) override;
+
+    /**
+     * Samples @p fn at every phase end and emits the series as
+     * Chrome counter events named @p name.
+     */
+    void trackCounter(const std::string &name,
+                      std::function<double()> fn);
+
+    std::size_t phaseCount() const { return slices.size(); }
+
+    /** The trace as a Chrome "traceEvents" JSON document. */
+    JsonValue toJson() const;
+
+    /** toJson() to a stream. */
+    void writeTo(std::ostream &os) const;
+
+  private:
+    struct Slice
+    {
+        std::string name;
+        Tick begin = 0;
+        Tick end = 0;
+        std::vector<double> samples; //!< one per tracked counter
+    };
+
+    std::string lane;
+    std::vector<Slice> slices;
+    Tick openBegin = 0;
+    bool open = false;
+    std::vector<std::pair<std::string, std::function<double()>>>
+        counters;
+};
+
+} // namespace report
+} // namespace stashsim
+
+#endif // STASHSIM_REPORT_TRACE_HH

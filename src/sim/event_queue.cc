@@ -46,6 +46,44 @@ EventQueue::reset()
     events = {};
     _curTick = 0;
     nextSeq = 0;
+    // Listeners survive a reset: they observe the queue, not its
+    // contents.
+    _phaseName.clear();
+}
+
+void
+EventQueue::addPhaseListener(PhaseListener *l)
+{
+    sim_assert(l != nullptr);
+    phaseListeners.push_back(l);
+}
+
+void
+EventQueue::removePhaseListener(PhaseListener *l)
+{
+    for (auto it = phaseListeners.begin(); it != phaseListeners.end();
+         ++it) {
+        if (*it == l) {
+            phaseListeners.erase(it);
+            return;
+        }
+    }
+}
+
+void
+EventQueue::beginPhase(const char *name)
+{
+    _phaseName = name;
+    for (PhaseListener *l : phaseListeners)
+        l->phaseBegin(name, _curTick);
+}
+
+void
+EventQueue::endPhase()
+{
+    for (PhaseListener *l : phaseListeners)
+        l->phaseEnd(_phaseName.c_str(), _curTick);
+    _phaseName.clear();
 }
 
 } // namespace stashsim

@@ -16,12 +16,32 @@
 #include <functional>
 #include <limits>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "sim/types.hh"
 
 namespace stashsim
 {
+
+/**
+ * Observer of the driver's phase/drain boundaries.
+ *
+ * The System driver brackets every drain (GPU kernel phase, CPU
+ * phase, final flush) with beginPhase()/endPhase() on its event
+ * queue; registered listeners see each boundary with the simulated
+ * time it happened at.  The watchdog arms itself this way, and the
+ * report subsystem's ChromeTraceSink turns the boundaries into a
+ * timeline trace.
+ */
+class PhaseListener
+{
+  public:
+    virtual ~PhaseListener() = default;
+
+    virtual void phaseBegin(const char *name, Tick at) = 0;
+    virtual void phaseEnd(const char *name, Tick at) = 0;
+};
 
 /**
  * A deterministic priority queue of timed callbacks.
@@ -79,6 +99,20 @@ class EventQueue
     /** Drops all pending events and resets time to zero. */
     void reset();
 
+    /** @{ Phase/drain boundary notification (see PhaseListener). */
+    void addPhaseListener(PhaseListener *l);
+    void removePhaseListener(PhaseListener *l);
+
+    /** Marks the start of a named phase and notifies listeners. */
+    void beginPhase(const char *name);
+
+    /** Marks the end of the current phase and notifies listeners. */
+    void endPhase();
+
+    /** Name of the phase in progress; empty outside one. */
+    const std::string &currentPhase() const { return _phaseName; }
+    /** @} */
+
   private:
     struct ScheduledEvent
     {
@@ -106,6 +140,8 @@ class EventQueue
         events;
     Tick _curTick = 0;
     std::uint64_t nextSeq = 0;
+    std::vector<PhaseListener *> phaseListeners;
+    std::string _phaseName;
 };
 
 /**

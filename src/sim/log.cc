@@ -1,7 +1,9 @@
 #include "sim/log.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -11,6 +13,19 @@ namespace stashsim
 
 namespace
 {
+
+// The hook registry is process-global while Systems are per-thread
+// in a parallel sweep, so (un)registration must be mutex-protected.
+// The mutex is not held while hooks run: a hook may (un)register
+// other hooks, and flushing happens on a failure path where another
+// thread's registration racing a copy of the list is acceptable.
+
+std::mutex &
+hooksMutex()
+{
+    static std::mutex m;
+    return m;
+}
 
 std::vector<std::pair<std::size_t, DiagnosticHook>> &
 diagnosticHooks()
@@ -26,6 +41,7 @@ std::size_t nextHookId = 1;
 std::size_t
 registerDiagnosticHook(DiagnosticHook hook)
 {
+    std::lock_guard<std::mutex> lock(hooksMutex());
     const std::size_t id = nextHookId++;
     diagnosticHooks().emplace_back(id, std::move(hook));
     return id;
@@ -34,6 +50,7 @@ registerDiagnosticHook(DiagnosticHook hook)
 void
 unregisterDiagnosticHook(std::size_t id)
 {
+    std::lock_guard<std::mutex> lock(hooksMutex());
     auto &hooks = diagnosticHooks();
     for (auto it = hooks.begin(); it != hooks.end(); ++it) {
         if (it->first == id) {
@@ -47,16 +64,32 @@ void
 flushDiagnosticHooks()
 {
     // Reentrancy guard: a hook that panics (or a panic inside a
-    // panic) must not flush again.
-    static bool flushing = false;
+    // panic) must not flush again (per thread).
+    thread_local bool flushing = false;
     if (flushing)
         return;
     flushing = true;
-    // Index-based loop: a hook may (un)register other hooks.
-    auto &hooks = diagnosticHooks();
-    for (std::size_t i = 0; i < hooks.size(); ++i) {
-        if (hooks[i].second)
-            hooks[i].second();
+    // Pick one not-yet-run hook at a time under the lock and run it
+    // unlocked: a hook may (un)register other hooks, and ones
+    // appended mid-flush must also run (each at most once).
+    std::vector<std::size_t> ran;
+    while (true) {
+        std::pair<std::size_t, DiagnosticHook> todo{0, nullptr};
+        {
+            std::lock_guard<std::mutex> lock(hooksMutex());
+            for (const auto &entry : diagnosticHooks()) {
+                if (std::find(ran.begin(), ran.end(), entry.first) ==
+                    ran.end()) {
+                    todo = entry;
+                    break;
+                }
+            }
+        }
+        if (todo.first == 0)
+            break;
+        ran.push_back(todo.first);
+        if (todo.second)
+            todo.second();
     }
     flushing = false;
 }

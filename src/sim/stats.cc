@@ -22,47 +22,29 @@ std::map<std::string, double>
 SystemStats::flatten() const
 {
     std::map<std::string, double> m;
-    m["gpu.instructions"] = double(gpu.instructions);
-    m["gpu.computeOps"] = double(gpu.computeOps);
-    m["gpu.globalLoads"] = double(gpu.globalLoads);
-    m["gpu.globalStores"] = double(gpu.globalStores);
-    m["gpu.localLoads"] = double(gpu.localLoads);
-    m["gpu.localStores"] = double(gpu.localStores);
-    m["gpu.idleCycles"] = double(gpu.idleCycles);
-    m["gpu.threadBlocks"] = double(gpu.threadBlocks);
-    m["gpu.kernels"] = double(gpu.kernels);
-    m["cpu.loads"] = double(cpu.loads);
-    m["cpu.stores"] = double(cpu.stores);
-    m["gpuL1.loadHits"] = double(gpuL1.loadHits);
-    m["gpuL1.loadMisses"] = double(gpuL1.loadMisses);
-    m["gpuL1.storeHits"] = double(gpuL1.storeHits);
-    m["gpuL1.storeMisses"] = double(gpuL1.storeMisses);
-    m["gpuL1.writebacks"] = double(gpuL1.writebacks);
-    m["gpuL1.tlbAccesses"] = double(gpuL1.tlbAccesses);
+    visitGroups(*this, [&m](const char *prefix, const auto &group) {
+        using S = std::remove_cv_t<
+            std::remove_reference_t<decltype(group)>>;
+        S::visit(group,
+                 [&m, prefix](const char *name, const Counter &c) {
+                     m[std::string(prefix) + "." + name] = double(c);
+                 });
+    });
+    // Derived totals the legacy flatten() exported, kept under their
+    // historical names.
+    m["gpuL1.hits"] = double(gpuL1.hits());
+    m["gpuL1.misses"] = double(gpuL1.misses());
+    m["gpuL1.accesses"] = double(gpuL1.accesses());
+    m["cpuL1.hits"] = double(cpuL1.hits());
+    m["cpuL1.misses"] = double(cpuL1.misses());
     m["cpuL1.accesses"] = double(cpuL1.accesses());
-    m["scratch.reads"] = double(scratch.reads);
-    m["scratch.writes"] = double(scratch.writes);
-    m["stash.loadHits"] = double(stash.loadHits);
-    m["stash.loadMisses"] = double(stash.loadMisses);
-    m["stash.storeHits"] = double(stash.storeHits);
-    m["stash.storeMisses"] = double(stash.storeMisses);
-    m["stash.translations"] = double(stash.translations);
-    m["stash.lazyWritebackChunks"] = double(stash.lazyWritebackChunks);
-    m["stash.wordsWrittenBack"] = double(stash.wordsWrittenBack);
-    m["stash.remoteHits"] = double(stash.remoteHits);
-    m["stash.replicationHits"] = double(stash.replicationHits);
-    m["llc.accesses"] = double(llc.accesses);
-    m["llc.fills"] = double(llc.fills);
-    m["llc.remoteForwards"] = double(llc.remoteForwards);
-    m["noc.flitHops.read"] = double(noc.flitHops[0]);
-    m["noc.flitHops.write"] = double(noc.flitHops[1]);
-    m["noc.flitHops.writeback"] = double(noc.flitHops[2]);
+    m["scratch.accesses"] = double(scratch.accesses());
+    m["stash.hits"] = double(stash.hits());
+    m["stash.misses"] = double(stash.misses());
+    m["stash.accesses"] = double(stash.accesses());
     m["noc.flitHops.total"] = double(noc.totalFlitHops());
-    m["noc.packets"] = double(noc.packets);
-    m["dma.transfers"] = double(dma.transfers);
-    m["dma.wordsLoaded"] = double(dma.wordsLoaded);
-    m["dma.wordsStored"] = double(dma.wordsStored);
     m["sim.gpuCycles"] = double(gpuCycles);
+    m["sim.numGpuCus"] = double(numGpuCus);
     return m;
 }
 

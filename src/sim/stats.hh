@@ -8,6 +8,14 @@
  * the paper's five-way dynamic-energy breakdown, and the benches print
  * the figures directly from these counts, so every number in the
  * reproduced tables/figures is traceable to a named counter here.
+ *
+ * Every struct enumerates its counters exactly once, through a static
+ * visit() template; add/sub/flatten and the report subsystem
+ * (src/report: StatsRegistry, JSON/CSV sinks) are all derived from
+ * that single enumeration, so adding a counter is a one-line change
+ * and it shows up everywhere — aggregation, reports, and the
+ * flatten() parity contract — automatically.  Counter updates on the
+ * simulation hot path remain plain field increments.
  */
 
 #ifndef STASHSIM_SIM_STATS_HH
@@ -17,6 +25,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "sim/types.hh"
 
@@ -24,6 +33,33 @@ namespace stashsim
 {
 
 using Counter = std::uint64_t;
+
+/**
+ * Element-wise a += b / a -= b over two instances of one stats
+ * struct, driven by the struct's own visit() enumeration.  Not a hot
+ * path: aggregation happens at snapshot points, not per access.
+ */
+template <class S>
+void
+statsAdd(S &a, const S &b)
+{
+    std::vector<Counter *> dst;
+    S::visit(a, [&](const char *, Counter &c) { dst.push_back(&c); });
+    std::size_t i = 0;
+    S::visit(b,
+             [&](const char *, const Counter &c) { *dst[i++] += c; });
+}
+
+template <class S>
+void
+statsSub(S &a, const S &b)
+{
+    std::vector<Counter *> dst;
+    S::visit(a, [&](const char *, Counter &c) { dst.push_back(&c); });
+    std::size_t i = 0;
+    S::visit(b,
+             [&](const char *, const Counter &c) { *dst[i++] -= c; });
+}
 
 /** Message classes tracked by the NoC (paper Figure 5d). */
 enum class MsgClass : unsigned
@@ -43,27 +79,24 @@ struct NocStats
     std::array<Counter, 3> flitHops{}; //!< indexed by MsgClass
     Counter packets = 0;
 
+    template <class Self, class F>
+    static void
+    visit(Self &s, F &&f)
+    {
+        f("flitHops.read", s.flitHops[0]);
+        f("flitHops.write", s.flitHops[1]);
+        f("flitHops.writeback", s.flitHops[2]);
+        f("packets", s.packets);
+    }
+
     Counter
     totalFlitHops() const
     {
         return flitHops[0] + flitHops[1] + flitHops[2];
     }
 
-    void
-    add(const NocStats &o)
-    {
-        for (int i = 0; i < 3; ++i)
-            flitHops[i] += o.flitHops[i];
-        packets += o.packets;
-    }
-
-    void
-    sub(const NocStats &o)
-    {
-        for (int i = 0; i < 3; ++i)
-            flitHops[i] -= o.flitHops[i];
-        packets -= o.packets;
-    }
+    void add(const NocStats &o) { statsAdd(*this, o); }
+    void sub(const NocStats &o) { statsSub(*this, o); }
 };
 
 /** L1 cache statistics (per cache; aggregated by the driver). */
@@ -82,43 +115,30 @@ struct CacheStats
     Counter remoteHits = 0;     //!< forwarded requests served by this L1
     Counter selfInvalidations = 0; //!< words dropped at kernel bounds
 
+    template <class Self, class F>
+    static void
+    visit(Self &s, F &&f)
+    {
+        f("loadHits", s.loadHits);
+        f("loadMisses", s.loadMisses);
+        f("storeHits", s.storeHits);
+        f("storeMisses", s.storeMisses);
+        f("hitWords", s.hitWords);
+        f("missWords", s.missWords);
+        f("evictions", s.evictions);
+        f("writebacks", s.writebacks);
+        f("wordsWrittenBack", s.wordsWrittenBack);
+        f("tlbAccesses", s.tlbAccesses);
+        f("remoteHits", s.remoteHits);
+        f("selfInvalidations", s.selfInvalidations);
+    }
+
     Counter hits() const { return loadHits + storeHits; }
     Counter misses() const { return loadMisses + storeMisses; }
     Counter accesses() const { return hits() + misses(); }
 
-    void
-    add(const CacheStats &o)
-    {
-        loadHits += o.loadHits;
-        loadMisses += o.loadMisses;
-        storeHits += o.storeHits;
-        storeMisses += o.storeMisses;
-        hitWords += o.hitWords;
-        missWords += o.missWords;
-        evictions += o.evictions;
-        writebacks += o.writebacks;
-        wordsWrittenBack += o.wordsWrittenBack;
-        tlbAccesses += o.tlbAccesses;
-        remoteHits += o.remoteHits;
-        selfInvalidations += o.selfInvalidations;
-    }
-
-    void
-    sub(const CacheStats &o)
-    {
-        loadHits -= o.loadHits;
-        loadMisses -= o.loadMisses;
-        storeHits -= o.storeHits;
-        storeMisses -= o.storeMisses;
-        hitWords -= o.hitWords;
-        missWords -= o.missWords;
-        evictions -= o.evictions;
-        writebacks -= o.writebacks;
-        wordsWrittenBack -= o.wordsWrittenBack;
-        tlbAccesses -= o.tlbAccesses;
-        remoteHits -= o.remoteHits;
-        selfInvalidations -= o.selfInvalidations;
-    }
+    void add(const CacheStats &o) { statsAdd(*this, o); }
+    void sub(const CacheStats &o) { statsSub(*this, o); }
 };
 
 /** Scratchpad statistics. */
@@ -127,21 +147,18 @@ struct ScratchpadStats
     Counter reads = 0;
     Counter writes = 0;
 
+    template <class Self, class F>
+    static void
+    visit(Self &s, F &&f)
+    {
+        f("reads", s.reads);
+        f("writes", s.writes);
+    }
+
     Counter accesses() const { return reads + writes; }
 
-    void
-    add(const ScratchpadStats &o)
-    {
-        reads += o.reads;
-        writes += o.writes;
-    }
-
-    void
-    sub(const ScratchpadStats &o)
-    {
-        reads -= o.reads;
-        writes -= o.writes;
-    }
+    void add(const ScratchpadStats &o) { statsAdd(*this, o); }
+    void sub(const ScratchpadStats &o) { statsSub(*this, o); }
 };
 
 /** Stash statistics (per stash; aggregated by the driver). */
@@ -165,53 +182,35 @@ struct StashStats
     Counter mapReplacementStalls = 0; //!< blocking map-entry writebacks
     Counter vpMapOverflows = 0; //!< live mappings exceeded VP capacity
 
+    template <class Self, class F>
+    static void
+    visit(Self &s, F &&f)
+    {
+        f("loadHits", s.loadHits);
+        f("loadMisses", s.loadMisses);
+        f("storeHits", s.storeHits);
+        f("storeMisses", s.storeMisses);
+        f("hitWords", s.hitWords);
+        f("missWords", s.missWords);
+        f("translations", s.translations);
+        f("vpMapAccesses", s.vpMapAccesses);
+        f("addMaps", s.addMaps);
+        f("chgMaps", s.chgMaps);
+        f("lazyWritebackChunks", s.lazyWritebackChunks);
+        f("wordsWrittenBack", s.wordsWrittenBack);
+        f("remoteHits", s.remoteHits);
+        f("replicationHits", s.replicationHits);
+        f("selfInvalidations", s.selfInvalidations);
+        f("mapReplacementStalls", s.mapReplacementStalls);
+        f("vpMapOverflows", s.vpMapOverflows);
+    }
+
     Counter hits() const { return loadHits + storeHits; }
     Counter misses() const { return loadMisses + storeMisses; }
     Counter accesses() const { return hits() + misses(); }
 
-    void
-    add(const StashStats &o)
-    {
-        loadHits += o.loadHits;
-        loadMisses += o.loadMisses;
-        storeHits += o.storeHits;
-        storeMisses += o.storeMisses;
-        hitWords += o.hitWords;
-        missWords += o.missWords;
-        translations += o.translations;
-        vpMapAccesses += o.vpMapAccesses;
-        addMaps += o.addMaps;
-        chgMaps += o.chgMaps;
-        lazyWritebackChunks += o.lazyWritebackChunks;
-        wordsWrittenBack += o.wordsWrittenBack;
-        remoteHits += o.remoteHits;
-        replicationHits += o.replicationHits;
-        selfInvalidations += o.selfInvalidations;
-        mapReplacementStalls += o.mapReplacementStalls;
-        vpMapOverflows += o.vpMapOverflows;
-    }
-
-    void
-    sub(const StashStats &o)
-    {
-        loadHits -= o.loadHits;
-        loadMisses -= o.loadMisses;
-        storeHits -= o.storeHits;
-        storeMisses -= o.storeMisses;
-        hitWords -= o.hitWords;
-        missWords -= o.missWords;
-        translations -= o.translations;
-        vpMapAccesses -= o.vpMapAccesses;
-        addMaps -= o.addMaps;
-        chgMaps -= o.chgMaps;
-        lazyWritebackChunks -= o.lazyWritebackChunks;
-        wordsWrittenBack -= o.wordsWrittenBack;
-        remoteHits -= o.remoteHits;
-        replicationHits -= o.replicationHits;
-        selfInvalidations -= o.selfInvalidations;
-        mapReplacementStalls -= o.mapReplacementStalls;
-        vpMapOverflows -= o.vpMapOverflows;
-    }
+    void add(const StashStats &o) { statsAdd(*this, o); }
+    void sub(const StashStats &o) { statsSub(*this, o); }
 };
 
 /** LLC (shared L2) statistics. */
@@ -227,33 +226,23 @@ struct LlcStats
     Counter recalls = 0;        //!< registered lines recalled on evict
     Counter accesses = 0;       //!< total data-array accesses
 
-    void
-    add(const LlcStats &o)
+    template <class Self, class F>
+    static void
+    visit(Self &s, F &&f)
     {
-        reads += o.reads;
-        registrations += o.registrations;
-        writebacksRecv += o.writebacksRecv;
-        remoteForwards += o.remoteForwards;
-        invalidationsSent += o.invalidationsSent;
-        fills += o.fills;
-        memWrites += o.memWrites;
-        recalls += o.recalls;
-        accesses += o.accesses;
+        f("reads", s.reads);
+        f("registrations", s.registrations);
+        f("writebacksRecv", s.writebacksRecv);
+        f("remoteForwards", s.remoteForwards);
+        f("invalidationsSent", s.invalidationsSent);
+        f("fills", s.fills);
+        f("memWrites", s.memWrites);
+        f("recalls", s.recalls);
+        f("accesses", s.accesses);
     }
 
-    void
-    sub(const LlcStats &o)
-    {
-        reads -= o.reads;
-        registrations -= o.registrations;
-        writebacksRecv -= o.writebacksRecv;
-        remoteForwards -= o.remoteForwards;
-        invalidationsSent -= o.invalidationsSent;
-        fills -= o.fills;
-        memWrites -= o.memWrites;
-        recalls -= o.recalls;
-        accesses -= o.accesses;
-    }
+    void add(const LlcStats &o) { statsAdd(*this, o); }
+    void sub(const LlcStats &o) { statsSub(*this, o); }
 };
 
 /** DMA engine statistics (ScratchGD configuration). */
@@ -263,21 +252,17 @@ struct DmaStats
     Counter wordsLoaded = 0;
     Counter wordsStored = 0;
 
-    void
-    add(const DmaStats &o)
+    template <class Self, class F>
+    static void
+    visit(Self &s, F &&f)
     {
-        transfers += o.transfers;
-        wordsLoaded += o.wordsLoaded;
-        wordsStored += o.wordsStored;
+        f("transfers", s.transfers);
+        f("wordsLoaded", s.wordsLoaded);
+        f("wordsStored", s.wordsStored);
     }
 
-    void
-    sub(const DmaStats &o)
-    {
-        transfers -= o.transfers;
-        wordsLoaded -= o.wordsLoaded;
-        wordsStored -= o.wordsStored;
-    }
+    void add(const DmaStats &o) { statsAdd(*this, o); }
+    void sub(const DmaStats &o) { statsSub(*this, o); }
 };
 
 /** GPU compute-unit statistics. */
@@ -294,35 +279,24 @@ struct GpuStats
     Counter threadBlocks = 0;
     Counter kernels = 0;
 
-    void
-    add(const GpuStats &o)
+    template <class Self, class F>
+    static void
+    visit(Self &s, F &&f)
     {
-        instructions += o.instructions;
-        computeOps += o.computeOps;
-        globalLoads += o.globalLoads;
-        globalStores += o.globalStores;
-        localLoads += o.localLoads;
-        localStores += o.localStores;
-        barriers += o.barriers;
-        idleCycles += o.idleCycles;
-        threadBlocks += o.threadBlocks;
-        kernels += o.kernels;
+        f("instructions", s.instructions);
+        f("computeOps", s.computeOps);
+        f("globalLoads", s.globalLoads);
+        f("globalStores", s.globalStores);
+        f("localLoads", s.localLoads);
+        f("localStores", s.localStores);
+        f("barriers", s.barriers);
+        f("idleCycles", s.idleCycles);
+        f("threadBlocks", s.threadBlocks);
+        f("kernels", s.kernels);
     }
 
-    void
-    sub(const GpuStats &o)
-    {
-        instructions -= o.instructions;
-        computeOps -= o.computeOps;
-        globalLoads -= o.globalLoads;
-        globalStores -= o.globalStores;
-        localLoads -= o.localLoads;
-        localStores -= o.localStores;
-        barriers -= o.barriers;
-        idleCycles -= o.idleCycles;
-        threadBlocks -= o.threadBlocks;
-        kernels -= o.kernels;
-    }
+    void add(const GpuStats &o) { statsAdd(*this, o); }
+    void sub(const GpuStats &o) { statsSub(*this, o); }
 };
 
 /** CPU core statistics. */
@@ -331,19 +305,16 @@ struct CpuStats
     Counter loads = 0;
     Counter stores = 0;
 
-    void
-    add(const CpuStats &o)
+    template <class Self, class F>
+    static void
+    visit(Self &s, F &&f)
     {
-        loads += o.loads;
-        stores += o.stores;
+        f("loads", s.loads);
+        f("stores", s.stores);
     }
 
-    void
-    sub(const CpuStats &o)
-    {
-        loads -= o.loads;
-        stores -= o.stores;
-    }
+    void add(const CpuStats &o) { statsAdd(*this, o); }
+    void sub(const CpuStats &o) { statsSub(*this, o); }
 };
 
 /** Aggregated snapshot of every counter in the system. */
@@ -360,6 +331,26 @@ struct SystemStats
     DmaStats dma;
     Cycles gpuCycles = 0; //!< end-to-end run length in GPU cycles
     Counter numGpuCus = 0; //!< CUs in the system (not subtracted)
+
+    /**
+     * Enumerates the counter groups with their canonical report
+     * prefixes.  f is called as f(prefix, group-struct); flatten()
+     * and the report subsystem both build on this.
+     */
+    template <class Self, class F>
+    static void
+    visitGroups(Self &s, F &&f)
+    {
+        f("gpu", s.gpu);
+        f("cpu", s.cpu);
+        f("gpuL1", s.gpuL1);
+        f("cpuL1", s.cpuL1);
+        f("scratch", s.scratch);
+        f("stash", s.stash);
+        f("llc", s.llc);
+        f("noc", s.noc);
+        f("dma", s.dma);
+    }
 
     /**
      * Subtracts a baseline snapshot (all counters are monotonic), so
@@ -381,7 +372,13 @@ struct SystemStats
         // numGpuCus is structural, not a counter.
     }
 
-    /** Flattens every counter into a name->value map for reports. */
+    /**
+     * Flattens every counter into a name->value map for reports:
+     * every raw counter of every group under its canonical prefix,
+     * plus the derived totals (hits/misses/accesses, flit-hop total)
+     * and the sim.* scalars.  Superset of the legacy hand-written
+     * key list; names are "<group>.<counter>".
+     */
     std::map<std::string, double> flatten() const;
 };
 

@@ -37,8 +37,12 @@ namespace stashsim
 
 /**
  * Forward-progress watchdog over one event queue.
+ *
+ * Arms and disarms either through the explicit beginPhase()/
+ * endPhase() calls below or automatically, as a PhaseListener on the
+ * event queue (the System driver registers it that way).
  */
-class Watchdog
+class Watchdog : public PhaseListener
 {
   public:
     /** System-level diagnostic dump (routers, fabric, stashes...). */
@@ -61,6 +65,14 @@ class Watchdog
 
     /** Disarms the watchdog (the phase drained normally). */
     void endPhase();
+
+    /** @{ PhaseListener: arm/disarm at the driver's drain points. */
+    void phaseBegin(const char *name, Tick) override
+    {
+        beginPhase(name);
+    }
+    void phaseEnd(const char *, Tick) override { endPhase(); }
+    /** @} */
 
     /**
      * Driver-detected deadlock: the queue drained but the phase did

@@ -1,0 +1,180 @@
+#include "workloads/workload_factory.hh"
+
+#include "sim/log.hh"
+#include "workloads/apps.hh"
+#include "workloads/microbench.hh"
+
+namespace stashsim
+{
+namespace workloads
+{
+
+const char *
+scaleName(Scale s)
+{
+    switch (s) {
+      case Scale::Full:
+        return "full";
+      case Scale::Quick:
+        return "quick";
+      case Scale::Smoke:
+        return "smoke";
+      default:
+        return "?";
+    }
+}
+
+namespace
+{
+
+/** The --quick and smoke sizings for the four microbenchmarks. */
+MicrobenchConfig
+scaledMicrobenchConfig(const WorkloadParams &p)
+{
+    MicrobenchConfig mb;
+    mb.org = p.org;
+    if (p.cpuCores)
+        mb.cpuCores = p.cpuCores;
+    switch (p.scale) {
+      case Scale::Full:
+        break;
+      case Scale::Quick:
+        mb.implicitElements /= 4;
+        mb.pollutionElementsA /= 4;
+        mb.onDemandElements /= 4;
+        mb.reuseKernels = 4;
+        break;
+      case Scale::Smoke:
+        mb.implicitElements /= 8;
+        mb.pollutionElementsA /= 16;
+        // Keep A a multiple of B (the generator asserts it).
+        mb.pollutionWordsB /= 4;
+        mb.onDemandElements /= 8;
+        mb.reuseElements /= 4;
+        mb.reuseKernels = 2;
+        break;
+    }
+    return mb;
+}
+
+/** The --quick and smoke sizings for the seven applications. */
+AppConfig
+scaledAppConfig(const WorkloadParams &p)
+{
+    AppConfig ac;
+    ac.org = p.org;
+    if (p.cpuCores)
+        ac.cpuCores = p.cpuCores;
+    switch (p.scale) {
+      case Scale::Full:
+        break;
+      case Scale::Quick:
+        ac.ludN = 128;
+        ac.nwN = 256;
+        ac.pfCols = 256 * 64;
+        ac.stencilIters = 2;
+        break;
+      case Scale::Smoke:
+        ac.ludN = 64;
+        ac.bpInputBytes = 8 * 1024;
+        ac.nwN = 128;
+        ac.pfCols = 64 * 64;
+        ac.sgemmM = 64;
+        ac.sgemmK = 32;
+        ac.sgemmN = 64;
+        ac.stencilX = 64;
+        ac.stencilY = 64;
+        ac.stencilIters = 1;
+        ac.surfPixels = 16 * 1024 / 4;
+        break;
+    }
+    return ac;
+}
+
+WorkloadFactory
+buildRegistry()
+{
+    WorkloadFactory factory;
+    {
+        for (const auto &name : microbenchmarkNames()) {
+            WorkloadInfo info;
+            info.name = name;
+            info.kind = WorkloadInfo::Kind::Microbenchmark;
+            info.description =
+                "Figure 5 microbenchmark (Section 5.4.1)";
+            factory.registerWorkload(
+                std::move(info), [name](const WorkloadParams &p) {
+                    return makeMicrobenchmark(
+                        name, scaledMicrobenchConfig(p));
+                });
+        }
+        for (const auto &name : applicationNames()) {
+            WorkloadInfo info;
+            info.name = name;
+            info.kind = WorkloadInfo::Kind::Application;
+            info.description =
+                "Figure 6 application (Section 5.4.2)";
+            factory.registerWorkload(
+                std::move(info), [name](const WorkloadParams &p) {
+                    return makeApplication(name, scaledAppConfig(p));
+                });
+        }
+    }
+    return factory;
+}
+
+} // namespace
+
+const WorkloadFactory &
+WorkloadFactory::instance()
+{
+    // Magic-static: registration happens exactly once, thread-safely,
+    // on first use (sweep workers may race to the first call).
+    static const WorkloadFactory factory = buildRegistry();
+    return factory;
+}
+
+void
+WorkloadFactory::registerWorkload(WorkloadInfo info, Maker maker)
+{
+    if (find(info.name))
+        fatal("duplicate workload registration: ", info.name);
+    sim_assert(maker != nullptr);
+    infos.push_back(std::move(info));
+    makers.push_back(std::move(maker));
+}
+
+const WorkloadInfo *
+WorkloadFactory::find(const std::string &name) const
+{
+    for (const auto &i : infos) {
+        if (i.name == name)
+            return &i;
+    }
+    return nullptr;
+}
+
+Workload
+WorkloadFactory::make(const std::string &name,
+                      const WorkloadParams &params) const
+{
+    for (std::size_t i = 0; i < infos.size(); ++i) {
+        if (infos[i].name == name)
+            return makers[i](params);
+    }
+    fatal("unknown workload: ", name);
+}
+
+SystemConfig
+WorkloadFactory::defaultConfig(const std::string &name) const
+{
+    const WorkloadInfo *info = find(name);
+    if (!info)
+        fatal("unknown workload: ", name);
+    return info->kind == WorkloadInfo::Kind::Microbenchmark
+               ? SystemConfig::microbenchmarkDefault()
+               : SystemConfig::applicationDefault();
+}
+
+} // namespace workloads
+} // namespace stashsim

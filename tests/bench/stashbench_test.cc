@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Schema checks for the stashbench JSON artifacts: fig5 and fig6 run
+ * at smoke scale through the exact benchlib code path behind
+ * `stashbench --quick`, and the emitted documents are validated
+ * field by field after a serialize/parse round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "benches.hh"
+
+namespace stashbench
+{
+namespace
+{
+
+using report::JsonValue;
+
+JsonValue
+runBenchThroughFile(const char *name)
+{
+    const BenchInfo *bench = findBench(name);
+    EXPECT_NE(bench, nullptr);
+    BenchContext ctx;
+    ctx.scale = workloads::Scale::Smoke;
+    JsonValue doc = bench->run(ctx);
+
+    // Round-trip through a file exactly as the CLI writes it.
+    const std::string path = ::testing::TempDir() +
+                             "/BENCH_test_" + name + ".json";
+    {
+        std::ofstream os(path);
+        doc.write(os);
+        os << "\n";
+    }
+    std::ifstream is(path);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    JsonValue back;
+    std::string err;
+    EXPECT_TRUE(JsonValue::parse(ss.str(), back, err)) << err;
+    EXPECT_EQ(back.dump(), doc.dump());
+    return back;
+}
+
+void
+checkRunObject(const JsonValue &run)
+{
+    ASSERT_TRUE(run.isObject());
+    ASSERT_NE(run.find("workload"), nullptr);
+    ASSERT_NE(run.find("config"), nullptr);
+    ASSERT_NE(run.find("label"), nullptr);
+    ASSERT_NE(run.find("validated"), nullptr);
+    EXPECT_TRUE(run.find("validated")->asBool())
+        << run.find("label")->asString();
+    ASSERT_NE(run.find("errors"), nullptr);
+    EXPECT_TRUE(run.find("errors")->isArray());
+    EXPECT_EQ(run.find("errors")->size(), 0u);
+    ASSERT_NE(run.find("gpuCycles"), nullptr);
+    EXPECT_GT(run.find("gpuCycles")->asNumber(), 0);
+    ASSERT_NE(run.find("instructions"), nullptr);
+    EXPECT_GT(run.find("instructions")->asNumber(), 0);
+
+    const JsonValue *energy = run.find("energy");
+    ASSERT_NE(energy, nullptr);
+    double sum = 0;
+    for (const char *part : {"gpuCore", "l1", "local", "l2", "noc"}) {
+        ASSERT_NE(energy->find(part), nullptr) << part;
+        sum += energy->find(part)->asNumber();
+    }
+    EXPECT_NEAR(energy->find("total")->asNumber(), sum,
+                1e-9 * (1 + sum));
+
+    const JsonValue *flits = run.find("flitHops");
+    ASSERT_NE(flits, nullptr);
+    double fsum = 0;
+    for (const char *part : {"read", "write", "writeback"}) {
+        ASSERT_NE(flits->find(part), nullptr) << part;
+        fsum += flits->find(part)->asNumber();
+    }
+    EXPECT_EQ(flits->find("total")->asNumber(), fsum);
+}
+
+void
+checkFigureDoc(const JsonValue &doc, const char *bench,
+               std::size_t num_workloads, std::size_t num_configs)
+{
+    EXPECT_EQ(doc.find("schema")->asString(), "stashsim-bench-v1");
+    EXPECT_EQ(doc.find("bench")->asString(), bench);
+    EXPECT_FALSE(doc.find("title")->asString().empty());
+    EXPECT_EQ(doc.find("scale")->asString(), "smoke");
+    EXPECT_EQ(doc.find("baseline")->asString(), "Scratch");
+
+    ASSERT_NE(doc.find("workloads"), nullptr);
+    EXPECT_EQ(doc.find("workloads")->size(), num_workloads);
+    ASSERT_NE(doc.find("configs"), nullptr);
+    EXPECT_EQ(doc.find("configs")->size(), num_configs);
+
+    const JsonValue *runs = doc.find("runs");
+    ASSERT_NE(runs, nullptr);
+    ASSERT_TRUE(runs->isArray());
+    ASSERT_EQ(runs->size(), num_workloads * num_configs);
+    for (std::size_t i = 0; i < runs->size(); ++i)
+        checkRunObject(runs->at(i));
+    EXPECT_TRUE(allRunsValidated(doc));
+
+    // Every (workload, config) pair appears exactly once.
+    std::set<std::string> labels;
+    for (std::size_t i = 0; i < runs->size(); ++i)
+        labels.insert(runs->at(i).find("label")->asString());
+    EXPECT_EQ(labels.size(), runs->size());
+}
+
+TEST(StashbenchSchemaTest, Fig5DocumentIsValid)
+{
+    checkFigureDoc(runBenchThroughFile("fig5"), "fig5", 4, 4);
+}
+
+TEST(StashbenchSchemaTest, Fig6DocumentIsValid)
+{
+    checkFigureDoc(runBenchThroughFile("fig6"), "fig6", 7, 5);
+}
+
+TEST(StashbenchSchemaTest, BenchListHasUniqueNamesAndRunners)
+{
+    std::set<std::string> names;
+    for (const BenchInfo &b : benchList()) {
+        EXPECT_NE(b.run, nullptr) << b.name;
+        EXPECT_TRUE(names.insert(b.name).second)
+            << "duplicate: " << b.name;
+    }
+    EXPECT_NE(names.count("fig5"), 0u);
+    EXPECT_NE(names.count("fig6"), 0u);
+    EXPECT_NE(names.count("table3"), 0u);
+}
+
+TEST(StashbenchSchemaTest, AllRunsValidatedDetectsFailures)
+{
+    JsonValue doc = JsonValue::object();
+    JsonValue runs = JsonValue::array();
+    JsonValue good = JsonValue::object();
+    good["validated"] = true;
+    runs.push(std::move(good));
+    doc["runs"] = std::move(runs);
+    EXPECT_TRUE(allRunsValidated(doc));
+
+    JsonValue bad = JsonValue::object();
+    bad["validated"] = false;
+    doc["runs"].push(std::move(bad));
+    EXPECT_FALSE(allRunsValidated(doc));
+}
+
+} // namespace
+} // namespace stashbench

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "config/system_config.hh"
+#include "driver/run.hh"
+#include "report/stats_registry.hh"
+
+namespace stashsim
+{
+namespace
+{
+
+using report::StatsRegistry;
+
+TEST(StatsRegistryTest, CountersAndValuesSampleLive)
+{
+    Counter a = 1, b = 2;
+    StatsRegistry reg;
+    reg.addCounter("g.a", &a);
+    reg.addCounter("g.b", &b);
+    reg.addValue("g.sum", [&]() { return double(a + b); });
+    a = 10;
+    const auto vals = reg.values();
+    EXPECT_EQ(vals.at("g.a"), 10);
+    EXPECT_EQ(vals.at("g.b"), 2);
+    EXPECT_EQ(vals.at("g.sum"), 12);
+}
+
+TEST(StatsRegistryTest, AddGroupUsesVisitNames)
+{
+    GpuStats gpu;
+    gpu.instructions = 7;
+    StatsRegistry reg;
+    reg.addGroup("gpu", &gpu);
+    const auto vals = reg.values();
+    EXPECT_EQ(vals.at("gpu.instructions"), 7);
+}
+
+TEST(StatsRegistryTest, ToJsonNestsOnDots)
+{
+    Counter a = 5;
+    StatsRegistry reg;
+    reg.addCounter("x.y.z", &a);
+    const report::JsonValue doc = reg.toJson();
+    ASSERT_NE(doc.find("x"), nullptr);
+    ASSERT_NE(doc.find("x")->find("y"), nullptr);
+    EXPECT_EQ(doc.find("x")->find("y")->find("z")->asNumber(), 5);
+}
+
+TEST(StatsRegistryTest, CsvHasHeaderAndSortedRows)
+{
+    Counter a = 1, b = 2;
+    StatsRegistry reg;
+    reg.addCounter("b.v", &b);
+    reg.addCounter("a.v", &a);
+    std::ostringstream os;
+    reg.writeCsv(os);
+    const std::string text = os.str();
+    EXPECT_EQ(text.rfind("stat,value\n", 0), 0u);
+    EXPECT_LT(text.find("a.v,1"), text.find("b.v,2"));
+}
+
+/**
+ * The parity contract: registerSystemStats() must expose exactly the
+ * key set of SystemStats::flatten(), with equal values, on real
+ * end-of-run statistics.
+ */
+TEST(StatsRegistryTest, RegisterSystemStatsMatchesFlattenKeyForKey)
+{
+    RunSpec spec;
+    spec.workload = "Implicit";
+    spec.org = MemOrg::Stash;
+    spec.scale = workloads::Scale::Smoke;
+    const RunResult r = runSpec(spec);
+    ASSERT_TRUE(r.validated);
+
+    StatsRegistry reg;
+    registerSystemStats(reg, r.stats);
+    const std::map<std::string, double> registered = reg.values();
+    const std::map<std::string, double> flat = r.stats.flatten();
+
+    ASSERT_EQ(registered.size(), flat.size());
+    for (const auto &[key, value] : flat) {
+        auto it = registered.find(key);
+        ASSERT_NE(it, registered.end()) << "missing key: " << key;
+        EXPECT_EQ(it->second, value) << "value mismatch: " << key;
+    }
+    // And the run actually produced nonzero counters to compare.
+    EXPECT_GT(flat.at("gpu.instructions"), 0);
+    EXPECT_GT(flat.at("stash.accesses"), 0);
+}
+
+} // namespace
+} // namespace stashsim

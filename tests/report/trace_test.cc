@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "report/trace.hh"
+#include "sim/event_queue.hh"
+
+namespace stashsim
+{
+namespace
+{
+
+using report::ChromeTraceSink;
+using report::JsonValue;
+
+TEST(ChromeTraceSinkTest, RecordsPhaseSlices)
+{
+    EventQueue eq;
+    ChromeTraceSink sink("lane0");
+    eq.addPhaseListener(&sink);
+
+    eq.beginPhase("kernel");
+    eq.scheduleIn(10, []() {});
+    eq.run();
+    eq.endPhase();
+    eq.beginPhase("drain");
+    eq.scheduleIn(5, []() {});
+    eq.run();
+    eq.endPhase();
+
+    EXPECT_EQ(sink.phaseCount(), 2u);
+    const JsonValue doc = sink.toJson();
+    const JsonValue *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_GE(events->size(), 2u);
+
+    const JsonValue &first = events->at(0);
+    EXPECT_EQ(first.find("ph")->asString(), "X");
+    EXPECT_EQ(first.find("name")->asString(), "kernel");
+    EXPECT_EQ(first.find("ts")->asNumber(), 0);
+    EXPECT_EQ(first.find("dur")->asNumber(), 10);
+    EXPECT_EQ(first.find("tid")->asString(), "lane0");
+
+    const JsonValue &second = events->at(1);
+    EXPECT_EQ(second.find("name")->asString(), "drain");
+    EXPECT_EQ(second.find("dur")->asNumber(), 5);
+}
+
+TEST(ChromeTraceSinkTest, SamplesTrackedCountersAtPhaseEnd)
+{
+    EventQueue eq;
+    ChromeTraceSink sink;
+    int value = 0;
+    sink.trackCounter("value", [&]() { return double(value); });
+    eq.addPhaseListener(&sink);
+
+    eq.beginPhase("p1");
+    value = 3;
+    eq.endPhase();
+    eq.beginPhase("p2");
+    value = 8;
+    eq.endPhase();
+
+    const JsonValue doc = sink.toJson();
+    const JsonValue *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    std::vector<double> samples;
+    for (std::size_t i = 0; i < events->size(); ++i) {
+        const JsonValue &e = events->at(i);
+        if (e.find("ph")->asString() == "C")
+            samples.push_back(
+                e.find("args")->find("value")->asNumber());
+    }
+    ASSERT_EQ(samples.size(), 2u);
+    EXPECT_EQ(samples[0], 3);
+    EXPECT_EQ(samples[1], 8);
+}
+
+TEST(ChromeTraceSinkTest, OutputIsValidJson)
+{
+    EventQueue eq;
+    ChromeTraceSink sink;
+    eq.addPhaseListener(&sink);
+    eq.beginPhase("only");
+    eq.endPhase();
+
+    std::ostringstream os;
+    sink.writeTo(os);
+    JsonValue back;
+    std::string err;
+    ASSERT_TRUE(JsonValue::parse(os.str(), back, err)) << err;
+    EXPECT_NE(back.find("traceEvents"), nullptr);
+}
+
+TEST(ChromeTraceSinkTest, ListenerSurvivesQueueReset)
+{
+    EventQueue eq;
+    ChromeTraceSink sink;
+    eq.addPhaseListener(&sink);
+    eq.beginPhase("before");
+    eq.endPhase();
+    eq.reset();
+    eq.beginPhase("after");
+    eq.endPhase();
+    EXPECT_EQ(sink.phaseCount(), 2u);
+}
+
+} // namespace
+} // namespace stashsim

@@ -29,6 +29,7 @@
 #ifndef STASHSIM_BENCH_BENCHES_HH
 #define STASHSIM_BENCH_BENCHES_HH
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -42,6 +43,37 @@ namespace stashbench
 
 using namespace stashsim;
 
+/**
+ * Host-throughput rollup (SimPerf) across every sweep the CLI ran.
+ *
+ * Only this collector's artifact (BENCH_simperf.json) carries host
+ * wall-clock numbers; the per-bench documents keep nothing but
+ * deterministic counters so they stay byte-reproducible.
+ */
+struct SimperfCollector
+{
+    struct BenchTotals
+    {
+        std::string bench;
+        std::uint64_t runs = 0;
+        std::uint64_t events = 0;
+        std::uint64_t simTicks = 0;
+        double hostSeconds = 0;
+    };
+
+    std::vector<BenchTotals> benches; //!< first-use order
+
+    /** Folds a sweep's per-run SimPerf summaries into @p bench. */
+    void add(const char *bench, const std::vector<RunRecord> &records);
+
+    /**
+     * The stashsim-simperf-v1 document: one entry per bench plus
+     * whole-suite totals; @p wallSeconds spans the CLI's bench loop.
+     */
+    report::JsonValue toJson(const char *scale,
+                             double wallSeconds) const;
+};
+
 /** Options every bench receives from the CLI. */
 struct BenchContext
 {
@@ -54,6 +86,8 @@ struct BenchContext
     std::string traceDir;
     /** Include the full flattened stats map in every run object. */
     bool components = false;
+    /** When set, sweepSpecs() reports every sweep's throughput here. */
+    SimperfCollector *simperf = nullptr;
 };
 
 /** One registered bench. */

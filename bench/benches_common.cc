@@ -56,6 +56,71 @@ benchList()
     return benches;
 }
 
+void
+SimperfCollector::add(const char *bench,
+                      const std::vector<RunRecord> &records)
+{
+    BenchTotals *t = nullptr;
+    for (BenchTotals &b : benches) {
+        if (b.bench == bench) {
+            t = &b;
+            break;
+        }
+    }
+    if (!t) {
+        benches.emplace_back();
+        benches.back().bench = bench;
+        t = &benches.back();
+    }
+    for (const RunRecord &rec : records) {
+        const SimPerfSummary &p = rec.result.perf;
+        ++t->runs;
+        t->events += p.events;
+        t->simTicks += p.simTicks;
+        t->hostSeconds += p.hostSeconds;
+    }
+}
+
+report::JsonValue
+SimperfCollector::toJson(const char *scale, double wallSeconds) const
+{
+    report::JsonValue doc = report::JsonValue::object();
+    doc["schema"] = "stashsim-simperf-v1";
+    doc["scale"] = scale;
+    doc["wallSeconds"] = wallSeconds;
+
+    std::uint64_t runs = 0, events = 0, ticks = 0;
+    double host = 0;
+    report::JsonValue arr = report::JsonValue::array();
+    for (const BenchTotals &b : benches) {
+        report::JsonValue e = report::JsonValue::object();
+        e["bench"] = b.bench;
+        e["runs"] = double(b.runs);
+        e["events"] = double(b.events);
+        e["simTicks"] = double(b.simTicks);
+        e["hostSeconds"] = b.hostSeconds;
+        e["eventsPerSec"] = b.hostSeconds > 0
+                                ? double(b.events) / b.hostSeconds
+                                : 0.0;
+        arr.push(std::move(e));
+        runs += b.runs;
+        events += b.events;
+        ticks += b.simTicks;
+        host += b.hostSeconds;
+    }
+    doc["benches"] = std::move(arr);
+
+    report::JsonValue tot = report::JsonValue::object();
+    tot["runs"] = double(runs);
+    tot["events"] = double(events);
+    tot["simTicks"] = double(ticks);
+    tot["hostSeconds"] = host;
+    tot["eventsPerSec"] = host > 0 ? double(events) / host : 0.0;
+    tot["ticksPerHostSec"] = host > 0 ? double(ticks) / host : 0.0;
+    doc["totals"] = std::move(tot);
+    return doc;
+}
+
 const BenchInfo *
 findBench(const std::string &name)
 {
@@ -123,6 +188,14 @@ runToJson(const RunRecord &rec, bool components)
     flits["total"] = double(r.stats.noc.totalFlitHops());
     run["flitHops"] = std::move(flits);
 
+    // Deterministic SimPerf counters only — host timings would break
+    // the artifact's byte-reproducibility (they live in
+    // BENCH_simperf.json instead).
+    report::JsonValue perf = report::JsonValue::object();
+    perf["events"] = double(r.perf.events);
+    perf["simTicks"] = double(r.perf.simTicks);
+    run["perf"] = std::move(perf);
+
     if (components) {
         report::JsonValue stats = report::JsonValue::object();
         for (const auto &[key, value] : r.stats.flatten())
@@ -182,7 +255,11 @@ sweepSpecs(const BenchContext &ctx, const char *bench,
     SweepOptions opts;
     opts.threads = ctx.jobs;
     opts.progress = ctx.progress;
-    return SweepDriver(opts).run(std::move(specs));
+    std::vector<RunRecord> records =
+        SweepDriver(opts).run(std::move(specs));
+    if (ctx.simperf)
+        ctx.simperf->add(bench, records);
+    return records;
 }
 
 } // namespace stashbench

@@ -9,6 +9,7 @@
  * artifacts.  Exits nonzero when any run fails validation.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -120,6 +121,8 @@ main(int argc, char **argv)
     ctx.progress = &std::cerr;
     ctx.traceDir = args.traceDir;
     ctx.components = args.components;
+    SimperfCollector simperf;
+    ctx.simperf = &simperf;
 
     const unsigned threads =
         SweepDriver({args.jobs, nullptr}).threadsFor(unsigned(-1));
@@ -131,6 +134,7 @@ main(int argc, char **argv)
                  threads == 1 ? "" : "s");
 
     bool all_ok = true;
+    const auto wall_start = std::chrono::steady_clock::now();
     for (const BenchInfo *b : selected) {
         std::fprintf(stderr, "=== %s: %s ===\n", b->name, b->title);
         report::JsonValue doc = b->run(ctx);
@@ -148,6 +152,35 @@ main(int argc, char **argv)
         all_ok = all_ok && ok;
         std::fprintf(stderr, "wrote %s%s\n", path.c_str(),
                      ok ? "" : " (FAILED validation)");
+    }
+    const double wall_seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+
+    // The host-throughput artifact: the only document with wall-clock
+    // numbers in it, deliberately separate from the deterministic
+    // BENCH_<name>.json files.
+    {
+        report::JsonValue doc = simperf.toJson(
+            workloads::scaleName(args.scale), wall_seconds);
+        const std::string path = args.outDir + "/BENCH_simperf.json";
+        std::ofstream os(path);
+        if (!os) {
+            std::fprintf(stderr, "stashbench: cannot write %s\n",
+                         path.c_str());
+            return 1;
+        }
+        doc.write(os);
+        os << "\n";
+        const report::JsonValue *tot = doc.find("totals");
+        const double events = tot->find("events")->asNumber();
+        const double eps = tot->find("eventsPerSec")->asNumber();
+        std::fprintf(stderr,
+                     "wrote %s\n"
+                     "stashbench: %.0f events in %.2f s host wall "
+                     "(%.0f events/sec aggregate)\n",
+                     path.c_str(), events, wall_seconds, eps);
     }
 
     if (!args.renderMd.empty()) {

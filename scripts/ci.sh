@@ -30,4 +30,10 @@ mkdir -p "${artifacts}"
     --out "${artifacts}"
 ls -l "${artifacts}"/BENCH_*.json
 
+# Surface the host-throughput numbers (events/sec per bench and the
+# suite aggregate) directly in the CI log, so every run leaves a
+# measured perf trajectory next to the archived artifact.
+echo "=== simulator throughput (BENCH_simperf.json) ==="
+cat "${artifacts}/BENCH_simperf.json"
+
 echo "=== CI passed (plain + ASan/UBSan + quick benches) ==="

@@ -21,6 +21,8 @@ Stash::Stash(EventQueue &eq, Fabric &fabric, PageTable &pt, CoreId owner,
 {
     sim_assert(p.chunkBytes % lineBytes == 0 || lineBytes %
                p.chunkBytes == 0);
+    // Bounded by the miss-slot count; never rehashes on the fill path.
+    pendingFills.reserve(p.mshrs);
 }
 
 namespace

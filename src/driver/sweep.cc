@@ -53,6 +53,13 @@ SweepDriver::run(std::vector<RunSpec> specs) const
                 // the failure through the record.
                 rec.result.validated = false;
                 rec.result.errors.push_back(e.what());
+            } catch (...) {
+                // Anything escaping a std::thread calls
+                // std::terminate and loses every completed record;
+                // absorb non-standard throws the same way.
+                rec.result.validated = false;
+                rec.result.errors.push_back(
+                    "unknown error (non-standard exception)");
             }
             const std::size_t k =
                 done.fetch_add(1, std::memory_order_relaxed) + 1;

@@ -154,6 +154,9 @@ System::System(const SystemConfig &cfg, const EnergyParams &energy)
         eq.addPhaseListener(_watchdog.get());
     }
 
+    // SimPerf samples host time at every drain boundary.
+    eq.addPhaseListener(&perf);
+
     registerComponentStats();
 }
 
@@ -187,6 +190,14 @@ System::registerComponentStats()
     registry.addValue("sim.gpuCycles", [this] {
         return double(eq.curTick() / gpuClockPeriod);
     });
+    registry.addValue("simperf.events",
+                      [this] { return perf.eventsNow(); });
+    registry.addValue("simperf.hostSeconds",
+                      [this] { return perf.hostSecondsNow(); });
+    registry.addValue("simperf.eventsPerSec",
+                      [this] { return perf.eventsPerSecNow(); });
+    registry.addValue("simperf.ticksPerHostSec",
+                      [this] { return perf.ticksPerHostSecNow(); });
 }
 
 System::~System() = default;
@@ -261,6 +272,7 @@ RunResult
 System::run(Workload wl)
 {
     RunResult r;
+    perf.runBegin();
 
     FunctionalMem fm = functionalMem();
     if (wl.init)
@@ -311,6 +323,7 @@ System::run(Workload wl)
     }
     if (!r.errors.empty())
         r.validated = false;
+    r.perf = perf.summary();
     return r;
 }
 

@@ -40,6 +40,7 @@
 #include "noc/mesh.hh"
 #include "report/stats_registry.hh"
 #include "sim/event_queue.hh"
+#include "sim/simperf.hh"
 #include "workloads/workload.hh"
 
 namespace stashsim
@@ -57,6 +58,12 @@ struct RunResult
     Cycles gpuCycles = 0;
     bool validated = true;
     std::vector<std::string> errors;
+    /**
+     * Host-side throughput of the run (SimPerf).  Event/tick counts
+     * are deterministic simulation state; the host timings are not
+     * and stay out of the deterministic artifacts.
+     */
+    SimPerfSummary perf;
 };
 
 /**
@@ -90,6 +97,7 @@ class System
 
     /** @{ Component access for tests. */
     EventQueue &eventQueue() { return eq; }
+    const SimPerf &simPerf() const { return perf; }
     FunctionalMem functionalMem() { return {mem, pageTable}; }
     const SystemConfig &config() const { return cfg; }
     Stash *stashOf(unsigned cu);
@@ -139,6 +147,7 @@ class System
     report::StatsRegistry registry;
 
     EventQueue eq;
+    SimPerf perf{eq};
     Mesh mesh;
     Fabric fabric;
     MainMemory mem;

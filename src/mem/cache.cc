@@ -13,6 +13,8 @@ L1Cache::L1Cache(EventQueue &eq, Fabric &fabric, Tlb &tlb, CoreId owner,
       lines(sets * p.assoc)
 {
     sim_assert(sets > 0 && (sets & (sets - 1)) == 0);
+    // Bounded by the MSHR count; never rehashes on the miss path.
+    mshrs.reserve(p.mshrs);
 }
 
 unsigned

@@ -18,12 +18,17 @@ DmaEngine::DmaEngine(EventQueue &eq, Fabric &fabric, Tlb &tlb,
 void
 DmaEngine::pump()
 {
-    while (!queued.empty() && pending.size() < maxInflight) {
-        auto [req, pl] = std::move(queued.front());
-        queued.erase(queued.begin());
+    while (queuedHead < queued.size() &&
+           pending.size() < maxInflight) {
+        auto [req, pl] = std::move(queued[queuedHead]);
+        ++queuedHead;
         pending.emplace(req.linePA, std::move(pl));
         fabric.send(node, fabric.nodeOfLlc(req.linePA), Unit::Llc,
                     std::move(req));
+    }
+    if (queuedHead == queued.size() && queuedHead > 0) {
+        queued.clear();
+        queuedHead = 0;
     }
 }
 
@@ -33,13 +38,20 @@ DmaEngine::plan(const TileSpec &tile, LocalAddr base,
 {
     std::map<PhysAddr, PendingLine> by_line;
     const std::uint32_t bytes = tile.mappedBytes();
+    // Consecutive words nearly always fall in the same line; reuse
+    // the previous slot instead of paying a map lookup per word.
+    PhysAddr cur_line = ~PhysAddr{0};
+    PendingLine *cur = nullptr;
     for (std::uint32_t off = 0; off < bytes; off += wordBytes) {
         const Addr ga = tile.globalAddrOf(off);
         const PhysAddr pa = tlb.translate(ga);
-        PendingLine &pl = by_line[lineBase(pa)];
-        pl.xfer = x;
-        pl.mask |= wordBit(lineWord(pa));
-        pl.fills.emplace_back(lineWord(pa), LocalAddr(base + off));
+        if (lineBase(pa) != cur_line) {
+            cur_line = lineBase(pa);
+            cur = &by_line[cur_line];
+        }
+        cur->xfer = x;
+        cur->mask |= wordBit(lineWord(pa));
+        cur->fills.emplace_back(lineWord(pa), LocalAddr(base + off));
     }
     return by_line;
 }

@@ -111,8 +111,14 @@ class DmaEngine : public MemObject
     unsigned maxInflight;
     /** In-flight line transfers, FIFO per line address. */
     std::multimap<PhysAddr, PendingLine> pending;
-    /** Line requests waiting for a free slot. */
+    /**
+     * Line requests waiting for a free slot; FIFO starting at
+     * queuedHead.  Consumed entries are skipped, not erased (a front
+     * erase would shift the whole burst), and the storage is
+     * reclaimed once the burst drains.
+     */
     std::vector<std::pair<Msg, PendingLine>> queued;
+    std::size_t queuedHead = 0;
     DmaStats _stats;
     ProtocolChecker *checker = nullptr;
     Watchdog *watchdog = nullptr;

@@ -1,11 +1,72 @@
 #include "mem/llc.hh"
 
-#include <map>
+#include <algorithm>
+#include <array>
+#include <tuple>
 
 #include "sim/log.hh"
 
 namespace stashsim
 {
+
+namespace
+{
+
+/**
+ * Per-(owner, unit, map index) word-mask aggregation for directory
+ * actions (forwards, invalidations).  A line has wordsPerLine words,
+ * so there are at most wordsPerLine distinct groups — a fixed array
+ * with linear probing beats a node-based std::map on this hot path
+ * by a wide margin (typical group count is 1 or 2).  Emission is
+ * sorted into the old std::map key order so the message sequence —
+ * and therefore the simulated event order — is byte-for-byte
+ * unchanged.
+ */
+class OwnerGroups
+{
+  public:
+    struct Group
+    {
+        CoreId owner;
+        bool isStash;
+        unsigned mapIdx;
+        WordMask mask;
+    };
+
+    void
+    add(CoreId owner, bool is_stash, unsigned map_idx, WordMask bit)
+    {
+        for (unsigned i = 0; i < n; ++i) {
+            Group &g = groups[i];
+            if (g.owner == owner && g.isStash == is_stash &&
+                g.mapIdx == map_idx) {
+                g.mask |= bit;
+                return;
+            }
+        }
+        groups[n++] = Group{owner, is_stash, map_idx, bit};
+    }
+
+    /** Visits groups in (owner, isStash, mapIdx) order. */
+    template <class F>
+    void
+    forEachSorted(F &&f)
+    {
+        std::sort(groups.begin(), groups.begin() + n,
+                  [](const Group &a, const Group &b) {
+                      return std::tie(a.owner, a.isStash, a.mapIdx) <
+                             std::tie(b.owner, b.isStash, b.mapIdx);
+                  });
+        for (unsigned i = 0; i < n; ++i)
+            f(groups[i]);
+    }
+
+  private:
+    std::array<Group, wordsPerLine> groups;
+    unsigned n = 0;
+};
+
+} // namespace
 
 LlcBank::LlcBank(EventQueue &eq, Fabric &fabric, MainMemory &mem,
                  NodeId node, const Params &p)
@@ -172,7 +233,7 @@ LlcBank::serveRead(const Msg &msg, Line &line)
 
     // Forward demanded words that are registered elsewhere, grouped
     // by (owner, unit, map index).
-    std::map<std::tuple<CoreId, bool, unsigned>, WordMask> fwd;
+    OwnerGroups fwd;
     WordMask remote = 0;
     for (unsigned w = 0; w < wordsPerLine; ++w) {
         if (!(msg.mask & wordBit(w)))
@@ -185,24 +246,23 @@ LlcBank::serveRead(const Msg &msg, Line &line)
         // an L1 racing its own eviction's writeback.  Forward anyway;
         // the owner serves from the registered location or bounces a
         // retry that lands after the writeback.
-        fwd[{we.owner, we.ownerIsStash, we.mapIdx}] |= wordBit(w);
+        fwd.add(we.owner, we.ownerIsStash, we.mapIdx, wordBit(w));
         remote |= wordBit(w);
     }
 
-    for (const auto &[key, mask] : fwd) {
-        const auto &[owner, is_stash, map_idx] = key;
+    fwd.forEachSorted([&](const OwnerGroups::Group &g) {
         ++_stats.remoteForwards;
         Msg f;
         f.type = MsgType::FwdReadReq;
         f.requester = msg.requester;
         f.requesterUnit = msg.requesterUnit;
         f.linePA = msg.linePA;
-        f.mask = mask;
-        f.stashMapIdx = std::uint8_t(map_idx);
+        f.mask = g.mask;
+        f.stashMapIdx = std::uint8_t(g.mapIdx);
         f.retries = msg.retries;
-        fabric.send(node, fabric.nodeOfCore(owner),
-                    is_stash ? Unit::Stash : Unit::L1, std::move(f));
-    }
+        fabric.send(node, fabric.nodeOfCore(g.owner),
+                    g.isStash ? Unit::Stash : Unit::L1, std::move(f));
+    });
 
     // Respond with what the LLC holds: exactly the demanded words for
     // word-granularity requesters (stash/DMA), the whole line's valid
@@ -243,7 +303,7 @@ LlcBank::serveReg(const Msg &msg, Line &line)
     }
     // Invalidate previous owners (single-owner transfer, the DeNovo
     // analogue of ownership stealing), grouped per old owner.
-    std::map<std::tuple<CoreId, bool, unsigned>, WordMask> inv;
+    OwnerGroups inv;
     for (unsigned w = 0; w < wordsPerLine; ++w) {
         if (!(msg.mask & wordBit(w)))
             continue;
@@ -251,7 +311,7 @@ LlcBank::serveReg(const Msg &msg, Line &line)
         if (we.state == WordState::Registered &&
             (we.owner != msg.requester ||
              we.ownerIsStash != msg.ownerIsStash)) {
-            inv[{we.owner, we.ownerIsStash, we.mapIdx}] |= wordBit(w);
+            inv.add(we.owner, we.ownerIsStash, we.mapIdx, wordBit(w));
         }
         we.state = WordState::Registered;
         we.owner = msg.requester;
@@ -261,19 +321,18 @@ LlcBank::serveReg(const Msg &msg, Line &line)
     }
     line.dirty = true;
 
-    for (const auto &[key, mask] : inv) {
-        const auto &[owner, is_stash, map_idx] = key;
+    inv.forEachSorted([&](const OwnerGroups::Group &g) {
         ++_stats.invalidationsSent;
         Msg i;
         i.type = MsgType::InvReq;
-        i.requester = owner;
-        i.requesterUnit = is_stash ? Unit::Stash : Unit::L1;
+        i.requester = g.owner;
+        i.requesterUnit = g.isStash ? Unit::Stash : Unit::L1;
         i.linePA = msg.linePA;
-        i.mask = mask;
-        i.stashMapIdx = std::uint8_t(map_idx);
-        fabric.send(node, fabric.nodeOfCore(owner),
-                    is_stash ? Unit::Stash : Unit::L1, std::move(i));
-    }
+        i.mask = g.mask;
+        i.stashMapIdx = std::uint8_t(g.mapIdx);
+        fabric.send(node, fabric.nodeOfCore(g.owner),
+                    g.isStash ? Unit::Stash : Unit::L1, std::move(i));
+    });
 
     Msg ack;
     ack.type = MsgType::RegAck;
@@ -294,7 +353,7 @@ LlcBank::serveWb(const Msg &msg, Line &line)
                msg.requesterUnit == Unit::Stash ? "stash" : "l1/dma");
     }
     const bool is_dma = msg.type == MsgType::DmaWriteReq;
-    std::map<std::tuple<CoreId, bool, unsigned>, WordMask> inv;
+    OwnerGroups inv;
     for (unsigned w = 0; w < wordsPerLine; ++w) {
         if (!(msg.mask & wordBit(w)))
             continue;
@@ -308,7 +367,7 @@ LlcBank::serveWb(const Msg &msg, Line &line)
             }
             // A DMA store is a real store: it takes the word from its
             // previous owner (whose copy is now stale).
-            inv[{we.owner, we.ownerIsStash, we.mapIdx}] |= wordBit(w);
+            inv.add(we.owner, we.ownerIsStash, we.mapIdx, wordBit(w));
         }
         we.state = WordState::Valid;
         we.data = msg.data.w[w];
@@ -318,19 +377,18 @@ LlcBank::serveWb(const Msg &msg, Line &line)
     }
     line.dirty = true;
 
-    for (const auto &[key, mask] : inv) {
-        const auto &[owner, is_stash, map_idx] = key;
+    inv.forEachSorted([&](const OwnerGroups::Group &g) {
         ++_stats.invalidationsSent;
         Msg i;
         i.type = MsgType::InvReq;
-        i.requester = owner;
-        i.requesterUnit = is_stash ? Unit::Stash : Unit::L1;
+        i.requester = g.owner;
+        i.requesterUnit = g.isStash ? Unit::Stash : Unit::L1;
         i.linePA = msg.linePA;
-        i.mask = mask;
-        i.stashMapIdx = std::uint8_t(map_idx);
-        fabric.send(node, fabric.nodeOfCore(owner),
-                    is_stash ? Unit::Stash : Unit::L1, std::move(i));
-    }
+        i.mask = g.mask;
+        i.stashMapIdx = std::uint8_t(g.mapIdx);
+        fabric.send(node, fabric.nodeOfCore(g.owner),
+                    g.isStash ? Unit::Stash : Unit::L1, std::move(i));
+    });
 
     Msg ack;
     ack.type = is_dma ? MsgType::DmaWriteAck : MsgType::WbAck;

@@ -5,6 +5,13 @@
 namespace stashsim
 {
 
+MainMemory::MainMemory()
+{
+    // Typical quick-scale working sets touch a few hundred lines;
+    // reserving up front keeps the hot-path inserts rehash-free.
+    lines.reserve(1024);
+}
+
 LineData
 MainMemory::readLine(PhysAddr line_pa) const
 {

@@ -31,6 +31,8 @@ namespace stashsim
 class MainMemory
 {
   public:
+    MainMemory();
+
     /** Reads the full line at physical line address @p line_pa. */
     LineData readLine(PhysAddr line_pa) const;
 

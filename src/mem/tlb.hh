@@ -44,6 +44,15 @@ class Tlb
 
     PageTable &pageTable;
     unsigned capacity;
+    /**
+     * One-entry MRU fast path: the page of the immediately preceding
+     * translate().  Its LRU node is by construction at the front of
+     * the list, so answering from this pair leaves the replacement
+     * state bit-identical while skipping the map find and the splice.
+     * (~Addr{0} is not page-aligned, so it never matches.)
+     */
+    Addr lastVpage = ~Addr{0};
+    PhysAddr lastPpage = 0;
     /** MRU-first list of (vpage, ppage). */
     std::list<std::pair<Addr, PhysAddr>> lru;
     std::unordered_map<Addr, std::list<std::pair<Addr, PhysAddr>>::iterator>

@@ -84,6 +84,15 @@ checkRunObject(const JsonValue &run)
         fsum += flits->find(part)->asNumber();
     }
     EXPECT_EQ(flits->find("total")->asNumber(), fsum);
+
+    // Deterministic SimPerf counters (no host timings in bench docs).
+    const JsonValue *perf = run.find("perf");
+    ASSERT_NE(perf, nullptr);
+    ASSERT_NE(perf->find("events"), nullptr);
+    EXPECT_GT(perf->find("events")->asNumber(), 0);
+    ASSERT_NE(perf->find("simTicks"), nullptr);
+    EXPECT_GT(perf->find("simTicks")->asNumber(), 0);
+    EXPECT_EQ(perf->find("hostSeconds"), nullptr);
 }
 
 void
@@ -137,6 +146,43 @@ TEST(StashbenchSchemaTest, BenchListHasUniqueNamesAndRunners)
     EXPECT_NE(names.count("fig5"), 0u);
     EXPECT_NE(names.count("fig6"), 0u);
     EXPECT_NE(names.count("table3"), 0u);
+}
+
+TEST(StashbenchSchemaTest, SimperfCollectorEmitsAggregateDocument)
+{
+    const BenchInfo *bench = findBench("fig5");
+    ASSERT_NE(bench, nullptr);
+    SimperfCollector simperf;
+    BenchContext ctx;
+    ctx.scale = workloads::Scale::Smoke;
+    ctx.simperf = &simperf;
+    bench->run(ctx);
+
+    const JsonValue doc = simperf.toJson("smoke", 1.5);
+    EXPECT_EQ(doc.find("schema")->asString(), "stashsim-simperf-v1");
+    EXPECT_EQ(doc.find("scale")->asString(), "smoke");
+    EXPECT_EQ(doc.find("wallSeconds")->asNumber(), 1.5);
+
+    const JsonValue *benches = doc.find("benches");
+    ASSERT_NE(benches, nullptr);
+    ASSERT_TRUE(benches->isArray());
+    ASSERT_EQ(benches->size(), 1u);
+    const JsonValue &row = benches->at(0);
+    EXPECT_EQ(row.find("bench")->asString(), "fig5");
+    EXPECT_GT(row.find("runs")->asNumber(), 0);
+    EXPECT_GT(row.find("events")->asNumber(), 0);
+    EXPECT_GT(row.find("simTicks")->asNumber(), 0);
+    EXPECT_GE(row.find("hostSeconds")->asNumber(), 0);
+    EXPECT_GE(row.find("eventsPerSec")->asNumber(), 0);
+
+    const JsonValue *totals = doc.find("totals");
+    ASSERT_NE(totals, nullptr);
+    EXPECT_EQ(totals->find("events")->asNumber(),
+              row.find("events")->asNumber());
+    EXPECT_EQ(totals->find("runs")->asNumber(),
+              row.find("runs")->asNumber());
+    EXPECT_GE(totals->find("eventsPerSec")->asNumber(), 0);
+    EXPECT_GE(totals->find("ticksPerHostSec")->asNumber(), 0);
 }
 
 TEST(StashbenchSchemaTest, AllRunsValidatedDetectsFailures)

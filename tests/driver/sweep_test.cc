@@ -93,6 +93,23 @@ TEST(SweepDriverTest, CapturesFailuresWithoutAbortingTheSweep)
     EXPECT_TRUE(records[2].result.validated);
 }
 
+TEST(SweepDriverTest, CapturesNonStandardExceptionsToo)
+{
+    std::vector<RunSpec> specs = smallGrid();
+    specs.resize(3);
+    specs[1].instrument = [](System &) { throw 42; };
+
+    const std::vector<RunRecord> records =
+        SweepDriver({2, nullptr}).run(specs);
+    ASSERT_EQ(records.size(), specs.size());
+    EXPECT_FALSE(records[1].result.validated);
+    ASSERT_FALSE(records[1].result.errors.empty());
+    EXPECT_NE(records[1].result.errors[0].find("unknown error"),
+              std::string::npos);
+    EXPECT_TRUE(records[0].result.validated);
+    EXPECT_TRUE(records[2].result.validated);
+}
+
 TEST(SweepDriverTest, ProgressStreamReportsEveryRun)
 {
     std::ostringstream progress;

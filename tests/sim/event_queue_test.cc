@@ -5,6 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -197,6 +203,249 @@ TEST(EventQueueTest, ResetRestartsSequenceDeterminism)
     eq.reset();
     const auto second = record(eq);
     EXPECT_EQ(first, second);
+}
+
+TEST(EventQueueTest, BoundedRunAdvancesTimeToTheBound)
+{
+    // A finite bound is a statement about elapsed time: when it
+    // exhausts the eligible events, curTick must land on the bound so
+    // a subsequent scheduleIn() is relative to it, not to stale time.
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&]() { ++fired; });
+    EXPECT_EQ(eq.run(100), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.curTick(), 100u);
+    eq.scheduleIn(5, [&]() { ++fired; });
+    EXPECT_EQ(eq.run(), 1u);
+    EXPECT_EQ(eq.curTick(), 105u);
+}
+
+TEST(EventQueueTest, BoundedRunOnEmptyQueueAdvancesTime)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.run(50), 0u);
+    EXPECT_EQ(eq.curTick(), 50u);
+    // An unbounded run of an empty queue does NOT move time.
+    EXPECT_EQ(eq.run(), 0u);
+    EXPECT_EQ(eq.curTick(), 50u);
+}
+
+TEST(EventQueueTest, BoundedRunDoesNotMoveTimeBackwards)
+{
+    EventQueue eq;
+    eq.schedule(80, []() {});
+    eq.run();
+    EXPECT_EQ(eq.curTick(), 80u);
+    EXPECT_EQ(eq.run(40), 0u);
+    EXPECT_EQ(eq.curTick(), 80u);
+}
+
+TEST(EventQueueTest, EventsExecutedAccumulatesAcrossReset)
+{
+    EventQueue eq;
+    eq.schedule(1, []() {});
+    eq.schedule(2, []() {});
+    eq.run();
+    EXPECT_EQ(eq.eventsExecuted(), 2u);
+    eq.schedule(3, []() {});
+    eq.reset(); // drops the pending event, keeps the lifetime total
+    EXPECT_EQ(eq.eventsExecuted(), 2u);
+    eq.schedule(1, []() {});
+    eq.run();
+    EXPECT_EQ(eq.eventsExecuted(), 3u);
+}
+
+namespace
+{
+
+/** Records every boundary it sees. */
+class RecordingListener : public PhaseListener
+{
+  public:
+    std::vector<std::pair<std::string, Tick>> begins, ends;
+
+    void
+    phaseBegin(const char *name, Tick at) override
+    {
+        begins.emplace_back(name, at);
+    }
+
+    void
+    phaseEnd(const char *name, Tick at) override
+    {
+        ends.emplace_back(name, at);
+    }
+};
+
+} // namespace
+
+TEST(EventQueueTest, ResetClosesAnOpenPhase)
+{
+    // A phase left open across reset() must emit a synthetic phaseEnd
+    // at the pre-reset tick, so trace sinks do not leak an open slice
+    // and the watchdog disarms.
+    EventQueue eq;
+    RecordingListener l;
+    eq.addPhaseListener(&l);
+    eq.schedule(25, []() {});
+    eq.beginPhase("interrupted");
+    eq.run();
+    eq.reset();
+    ASSERT_EQ(l.ends.size(), 1u);
+    EXPECT_EQ(l.ends[0].first, "interrupted");
+    EXPECT_EQ(l.ends[0].second, 25u);
+    EXPECT_TRUE(eq.currentPhase().empty());
+    EXPECT_EQ(eq.curTick(), 0u);
+    // A reset with no phase open emits nothing extra.
+    eq.reset();
+    EXPECT_EQ(l.ends.size(), 1u);
+}
+
+namespace
+{
+
+/** Unregisters itself (and optionally a peer) from inside a callback. */
+class SelfRemovingListener : public PhaseListener
+{
+  public:
+    SelfRemovingListener(EventQueue &eq, PhaseListener *also = nullptr)
+        : eq(eq), also(also)
+    {}
+
+    int begun = 0, ended = 0;
+
+    void
+    phaseBegin(const char *, Tick) override
+    {
+        ++begun;
+        eq.removePhaseListener(this);
+        if (also)
+            eq.removePhaseListener(also);
+    }
+
+    void phaseEnd(const char *, Tick) override { ++ended; }
+
+  private:
+    EventQueue &eq;
+    PhaseListener *also;
+};
+
+} // namespace
+
+TEST(EventQueueTest, ListenersMayRemoveThemselvesDuringNotification)
+{
+    EventQueue eq;
+    RecordingListener tail;
+    SelfRemovingListener head(eq, &tail);
+    eq.addPhaseListener(&head);
+    eq.addPhaseListener(&tail);
+    // head removes itself AND tail while being notified; neither may
+    // be invoked after removal, and nothing may crash.
+    eq.beginPhase("a");
+    EXPECT_EQ(head.begun, 1);
+    EXPECT_TRUE(tail.begins.empty());
+    eq.endPhase();
+    EXPECT_EQ(head.ended, 0);
+    EXPECT_TRUE(tail.ends.empty());
+    // Subsequent phases see no listeners at all.
+    eq.beginPhase("b");
+    eq.endPhase();
+    EXPECT_EQ(head.begun, 1);
+}
+
+TEST(EventQueueTest, FarHorizonDelaysExecuteInOrder)
+{
+    // Delays far beyond the 4096-tick wheel span (watchdog-scale) mix
+    // with near events; order must still be global time order.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(200000, [&]() { order.push_back(4); });
+    eq.schedule(3, [&]() { order.push_back(1); });
+    eq.schedule(5000, [&]() {
+        order.push_back(2);
+        // Rescheduling from a migrated event crosses the horizon
+        // again.
+        eq.scheduleIn(100000, [&]() { order.push_back(3); });
+    });
+    EXPECT_EQ(eq.run(), 4u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+    EXPECT_EQ(eq.curTick(), 200000u);
+}
+
+/**
+ * The determinism contract, exhaustively: a randomized 10k-event
+ * schedule (with mid-run re-scheduling chains, priorities, and
+ * horizon-crossing delays) is checked pop-for-pop against a reference
+ * ordered set keyed (tick, priority, seq) — the queue must always
+ * execute the minimal pending tuple.
+ */
+TEST(EventQueueTest, RandomizedScheduleMatchesReferenceOrder)
+{
+    struct Ref
+    {
+        Tick when;
+        int pri;
+        std::uint64_t seq;
+        int id;
+
+        bool
+        operator<(const Ref &o) const
+        {
+            return std::tie(when, pri, seq, id) <
+                   std::tie(o.when, o.pri, o.seq, o.id);
+        }
+    };
+
+    EventQueue eq;
+    std::set<Ref> ref;
+    std::uint64_t seq = 0;
+    std::size_t executed = 0;
+
+    std::uint64_t rng = 0x2545f4914f6cdd1dull;
+    auto next = [&rng]() {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+    };
+    const int pris[3] = {EventQueue::PriDelivery,
+                         EventQueue::PriDefault,
+                         EventQueue::PriStats};
+
+    // sched() mirrors every insertion into the reference set; each
+    // event verifies at execution time that it IS the minimal pending
+    // tuple, then chains children (ids < 5000 spawn one each).
+    std::function<void(Tick, int, int)> sched = [&](Tick when, int pri,
+                                                    int id) {
+        ref.insert(Ref{when, pri, seq, id});
+        ++seq;
+        eq.schedule(
+            when,
+            [&, id]() {
+                ASSERT_FALSE(ref.empty());
+                const Ref front = *ref.begin();
+                ASSERT_EQ(front.id, id);
+                ASSERT_EQ(front.when, eq.curTick());
+                ref.erase(ref.begin());
+                ++executed;
+                if (id < 5000) {
+                    // Delays span same-tick, in-wheel, and beyond the
+                    // 4096-tick horizon.
+                    const Tick delay = next() % 12000;
+                    sched(eq.curTick() + delay,
+                          pris[next() % 3], id + 5000);
+                }
+            },
+            pri);
+    };
+
+    for (int id = 0; id < 5000; ++id)
+        sched(next() % 20000, pris[next() % 3], id);
+
+    EXPECT_EQ(eq.run(), 10000u);
+    EXPECT_EQ(executed, 10000u);
+    EXPECT_TRUE(ref.empty());
 }
 
 /** Property: randomly-ordered events execute in nondecreasing time. */

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for SimPerf, the host-side throughput observability
+ * layer: per-phase rollups, the runBegin() measurement window, and
+ * the System/StatsRegistry integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/run.hh"
+#include "sim/simperf.hh"
+
+namespace stashsim
+{
+namespace
+{
+
+TEST(SimPerfTest, RollsUpEventsAndTicksByPhaseName)
+{
+    EventQueue eq;
+    SimPerf perf(eq);
+    eq.addPhaseListener(&perf);
+    perf.runBegin();
+
+    eq.beginPhase("compute");
+    eq.schedule(10, []() {});
+    eq.schedule(20, []() {});
+    eq.run();
+    eq.endPhase();
+
+    eq.beginPhase("drain");
+    eq.schedule(30, []() {});
+    eq.run();
+    eq.endPhase();
+
+    // Repeated phase names aggregate into one rollup entry.
+    eq.beginPhase("compute");
+    eq.schedule(40, []() {});
+    eq.run();
+    eq.endPhase();
+
+    const SimPerfSummary s = perf.summary();
+    EXPECT_EQ(s.events, 4u);
+    EXPECT_EQ(s.simTicks, 40u);
+    EXPECT_GE(s.hostSeconds, 0.0);
+    ASSERT_EQ(s.phases.size(), 2u); // first-seen name order
+    EXPECT_EQ(s.phases[0].name, "compute");
+    EXPECT_EQ(s.phases[0].count, 2u);
+    EXPECT_EQ(s.phases[0].events, 3u);
+    EXPECT_EQ(s.phases[1].name, "drain");
+    EXPECT_EQ(s.phases[1].count, 1u);
+    EXPECT_EQ(s.phases[1].events, 1u);
+    EXPECT_GE(s.phases[0].hostSeconds, 0.0);
+}
+
+TEST(SimPerfTest, RunBeginRestartsTheMeasurementWindow)
+{
+    EventQueue eq;
+    SimPerf perf(eq);
+    eq.addPhaseListener(&perf);
+    eq.schedule(5, []() {});
+    eq.run();
+
+    perf.runBegin(); // setup work above is excluded from the window
+    eq.scheduleIn(10, []() {});
+    eq.run();
+    const SimPerfSummary s = perf.summary();
+    EXPECT_EQ(s.events, 1u);
+    EXPECT_EQ(s.simTicks, 10u);
+}
+
+TEST(SimPerfTest, SurvivesAQueueReset)
+{
+    // reset() keeps the queue's lifetime eventsExecuted() counter, so
+    // a SimPerf window spanning a reset still counts every event.
+    EventQueue eq;
+    SimPerf perf(eq);
+    eq.addPhaseListener(&perf);
+    perf.runBegin();
+    eq.schedule(5, []() {});
+    eq.run();
+    eq.reset();
+    eq.schedule(5, []() {});
+    eq.run();
+    EXPECT_EQ(perf.summary().events, 2u);
+}
+
+TEST(SimPerfTest, LiveSamplesAreMonotone)
+{
+    EventQueue eq;
+    SimPerf perf(eq);
+    perf.runBegin();
+    const double e0 = perf.eventsNow();
+    eq.schedule(1, []() {});
+    eq.schedule(2, []() {});
+    eq.run();
+    const double e1 = perf.eventsNow();
+    EXPECT_GE(e1, e0);
+    EXPECT_EQ(e1, 2.0);
+    EXPECT_GE(perf.hostSecondsNow(), 0.0);
+    EXPECT_GE(perf.eventsPerSecNow(), 0.0);
+    EXPECT_GE(perf.ticksPerHostSecNow(), 0.0);
+}
+
+TEST(SimPerfTest, RunResultCarriesThroughputSummary)
+{
+    RunSpec spec;
+    spec.workload = "Implicit";
+    spec.org = MemOrg::Stash;
+    spec.scale = workloads::Scale::Smoke;
+    bool saw_registry_keys = false;
+    spec.instrument = [&](System &sys) {
+        const auto v = sys.statsRegistry().values();
+        saw_registry_keys = v.count("simperf.events") &&
+                            v.count("simperf.hostSeconds") &&
+                            v.count("simperf.eventsPerSec") &&
+                            v.count("simperf.ticksPerHostSec");
+    };
+    const RunResult r = runSpec(spec);
+    ASSERT_TRUE(r.validated);
+    EXPECT_TRUE(saw_registry_keys);
+    EXPECT_GT(r.perf.events, 0u);
+    EXPECT_GT(r.perf.simTicks, 0u);
+    EXPECT_GE(r.perf.hostSeconds, 0.0);
+    EXPECT_FALSE(r.perf.phases.empty());
+    EXPECT_GE(r.perf.eventsPerHostSec(), 0.0);
+    EXPECT_GE(r.perf.ticksPerHostSec(), 0.0);
+}
+
+} // namespace
+} // namespace stashsim

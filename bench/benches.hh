@@ -59,9 +59,15 @@ struct SimperfCollector
         std::uint64_t events = 0;
         std::uint64_t simTicks = 0;
         double hostSeconds = 0;
+        /** Queue-shape rollup: peak is a max, the rest are sums. */
+        QueueShape shape;
     };
 
     std::vector<BenchTotals> benches; //!< first-use order
+
+    /** Engine mode of the collected runs (CLI --shards setting);
+     *  recorded in the artifact so per-mode events/sec compare. */
+    unsigned shards = 1;
 
     /** Folds a sweep's per-run SimPerf summaries into @p bench. */
     void add(const char *bench, const std::vector<RunRecord> &records);
@@ -80,6 +86,8 @@ struct BenchContext
     workloads::Scale scale = workloads::Scale::Full;
     /** Sweep worker threads; 0 = one per hardware thread. */
     unsigned jobs = 0;
+    /** Intra-run shard threads per run; 1 = serial, 0 = auto. */
+    unsigned shards = 1;
     /** Sweep progress stream; nullptr = silent. */
     std::ostream *progress = nullptr;
     /** When nonempty, write per-run Chrome traces into this dir. */
@@ -95,6 +103,10 @@ struct BenchInfo
 {
     const char *name;
     const char *title;
+    /** Input scales the bench reacts to ("-" = scale-independent). */
+    const char *scales;
+    /** One-line description for --list. */
+    const char *desc;
     report::JsonValue (*run)(const BenchContext &);
 };
 

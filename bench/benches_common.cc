@@ -6,6 +6,7 @@
 
 #include "benches.hh"
 
+#include <algorithm>
 #include <fstream>
 #include <memory>
 
@@ -29,28 +30,44 @@ benchList()
 {
     static const std::vector<BenchInfo> benches = {
         {"table3", "Table 3: per-access energy of the hardware units",
+         "-",
+         "Static per-access energy of each unit; no simulation runs",
          runTable3},
         {"fig5",
          "Figure 5: microbenchmark comparison (Implicit / Pollution "
          "/ On-demand / Reuse)",
+         "smoke quick full",
+         "4 microbenchmarks x 6 memory configs on the 1-CU machine",
          runFig5},
         {"fig6",
          "Figure 6: application comparison (7 GPU applications, "
          "15 CUs + 1 CPU)",
+         "smoke quick full",
+         "7 applications x 6 memory configs on the 15-CU machine",
          runFig6},
         {"ablation_replication",
          "Ablation: stash data-replication optimization (Section 4.5)",
+         "smoke quick full",
+         "Reuse microbenchmark with the reuseBit optimization on/off",
          runAblationReplication},
         {"ablation_chunk_granularity",
          "Ablation: stash writeback chunk granularity",
+         "smoke quick full",
+         "Sweeps the stash writeback chunk size (64..256 bytes)",
          runAblationChunkGranularity},
         {"ablation_stash_map_size", "Ablation: stash-map entries",
+         "smoke quick full",
+         "Sweeps the stash-map capacity against map-reuse pressure",
          runAblationStashMapSize},
         {"ablation_translation_latency",
          "Ablation: stash miss translation latency",
+         "smoke quick full",
+         "Sweeps the stash TLB/translation miss cost (0..40 cycles)",
          runAblationTranslationLatency},
         {"ablation_sparsity_sweep",
          "Ablation: on-demand sparsity sweep (stash/DMA crossover)",
+         "smoke quick full",
+         "Sweeps access sparsity to find the stash/DMA crossover",
          runAblationSparsitySweep},
     };
     return benches;
@@ -78,6 +95,11 @@ SimperfCollector::add(const char *bench,
         t->events += p.events;
         t->simTicks += p.simTicks;
         t->hostSeconds += p.hostSeconds;
+        t->shape.peakLiveEvents = std::max(t->shape.peakLiveEvents,
+                                           p.shape.peakLiveEvents);
+        t->shape.poolChunks += p.shape.poolChunks;
+        t->shape.wheelInserts += p.shape.wheelInserts;
+        t->shape.farInserts += p.shape.farInserts;
     }
 }
 
@@ -87,10 +109,15 @@ SimperfCollector::toJson(const char *scale, double wallSeconds) const
     report::JsonValue doc = report::JsonValue::object();
     doc["schema"] = "stashsim-simperf-v1";
     doc["scale"] = scale;
+    // Engine mode: per-mode artifacts (serial vs --shards N) carry
+    // the same deterministic event counts, so eventsPerSec compares
+    // engine throughput directly.
+    doc["shards"] = double(shards);
     doc["wallSeconds"] = wallSeconds;
 
     std::uint64_t runs = 0, events = 0, ticks = 0;
     double host = 0;
+    QueueShape shape;
     report::JsonValue arr = report::JsonValue::array();
     for (const BenchTotals &b : benches) {
         report::JsonValue e = report::JsonValue::object();
@@ -102,11 +129,22 @@ SimperfCollector::toJson(const char *scale, double wallSeconds) const
         e["eventsPerSec"] = b.hostSeconds > 0
                                 ? double(b.events) / b.hostSeconds
                                 : 0.0;
+        report::JsonValue q = report::JsonValue::object();
+        q["peakLiveEvents"] = double(b.shape.peakLiveEvents);
+        q["poolChunks"] = double(b.shape.poolChunks);
+        q["wheelInserts"] = double(b.shape.wheelInserts);
+        q["farInserts"] = double(b.shape.farInserts);
+        e["queueShape"] = std::move(q);
         arr.push(std::move(e));
         runs += b.runs;
         events += b.events;
         ticks += b.simTicks;
         host += b.hostSeconds;
+        shape.peakLiveEvents = std::max(shape.peakLiveEvents,
+                                        b.shape.peakLiveEvents);
+        shape.poolChunks += b.shape.poolChunks;
+        shape.wheelInserts += b.shape.wheelInserts;
+        shape.farInserts += b.shape.farInserts;
     }
     doc["benches"] = std::move(arr);
 
@@ -117,6 +155,12 @@ SimperfCollector::toJson(const char *scale, double wallSeconds) const
     tot["hostSeconds"] = host;
     tot["eventsPerSec"] = host > 0 ? double(events) / host : 0.0;
     tot["ticksPerHostSec"] = host > 0 ? double(ticks) / host : 0.0;
+    report::JsonValue q = report::JsonValue::object();
+    q["peakLiveEvents"] = double(shape.peakLiveEvents);
+    q["poolChunks"] = double(shape.poolChunks);
+    q["wheelInserts"] = double(shape.wheelInserts);
+    q["farInserts"] = double(shape.farInserts);
+    tot["queueShape"] = std::move(q);
     doc["totals"] = std::move(tot);
     return doc;
 }
@@ -252,8 +296,13 @@ sweepSpecs(const BenchContext &ctx, const char *bench,
             };
         }
     }
+    for (RunSpec &spec : specs) {
+        if (!spec.shards)
+            spec.shards = ctx.shards;
+    }
     SweepOptions opts;
     opts.threads = ctx.jobs;
+    opts.shardsPerRun = ctx.shards;
     opts.progress = ctx.progress;
     std::vector<RunRecord> records =
         SweepDriver(opts).run(std::move(specs));

@@ -28,9 +28,9 @@ using namespace stashbench;
 int
 listBenches()
 {
-    std::printf("%-30s %s\n", "bench", "title");
+    std::printf("%-30s %-18s %s\n", "bench", "scales", "description");
     for (const BenchInfo &b : benchList())
-        std::printf("%-30s %s\n", b.name, b.title);
+        std::printf("%-30s %-18s %s\n", b.name, b.scales, b.desc);
     return 0;
 }
 
@@ -118,20 +118,26 @@ main(int argc, char **argv)
     BenchContext ctx;
     ctx.scale = args.scale;
     ctx.jobs = args.jobs;
+    ctx.shards = args.shards;
     ctx.progress = &std::cerr;
     ctx.traceDir = args.traceDir;
     ctx.components = args.components;
     SimperfCollector simperf;
+    simperf.shards = args.shards;
     ctx.simperf = &simperf;
 
+    SweepOptions sizing;
+    sizing.threads = args.jobs;
+    sizing.shardsPerRun = args.shards;
     const unsigned threads =
-        SweepDriver({args.jobs, nullptr}).threadsFor(unsigned(-1));
+        SweepDriver(sizing).threadsFor(unsigned(-1));
     std::fprintf(stderr,
                  "stashbench: %zu bench%s, scale %s, %u sweep "
-                 "thread%s\n",
+                 "thread%s, %u shard%s/run\n",
                  selected.size(), selected.size() == 1 ? "" : "es",
                  workloads::scaleName(args.scale), threads,
-                 threads == 1 ? "" : "s");
+                 threads == 1 ? "" : "s", args.shards,
+                 args.shards == 1 ? "" : "s");
 
     bool all_ok = true;
     const auto wall_start = std::chrono::steady_clock::now();

@@ -1,7 +1,10 @@
 #!/usr/bin/env sh
-# Tier-1 CI: configure, build, and run the full test suite twice —
-# once plain, once under AddressSanitizer + UndefinedBehaviorSanitizer —
-# then run the quick-scale benches and archive their JSON artifacts.
+# Tier-1 CI: configure, build, and run the full test suite three
+# times — plain, under AddressSanitizer + UndefinedBehaviorSanitizer,
+# and under ThreadSanitizer (which exercises the sharded engine's
+# barriers and mailboxes) — then run the quick-scale benches serial
+# AND sharded, check the artifacts for byte parity, and check that
+# EXPERIMENTS.md has not drifted from the committed artifacts.
 #
 # Usage: scripts/ci.sh [jobs]
 set -eu
@@ -22,13 +25,29 @@ run_suite() {
 
 run_suite "${root}/build"
 run_suite "${root}/build-san" -DSTASHSIM_SANITIZE=address,undefined
+run_suite "${root}/build-tsan" -DSTASHSIM_SANITIZE=thread
 
 artifacts="${root}/build/bench-artifacts"
-echo "=== stashbench --quick (artifacts -> ${artifacts}) ==="
+echo "=== stashbench --quick, serial engine (artifacts -> ${artifacts}) ==="
 mkdir -p "${artifacts}"
 "${root}/build/bench/stashbench" --quick --jobs "${jobs}" \
     --out "${artifacts}"
 ls -l "${artifacts}"/BENCH_*.json
+
+# The determinism contract, enforced end to end: the sharded engine
+# must reproduce every serial BENCH_<name>.json byte for byte.  The
+# TSan build runs it so barrier/mailbox races surface loudly.
+sharded="${root}/build/bench-artifacts-sharded"
+echo "=== stashbench --quick --shards 4 under TSan (parity check) ==="
+mkdir -p "${sharded}"
+"${root}/build-tsan/bench/stashbench" --quick --shards 4 \
+    --jobs "${jobs}" --out "${sharded}"
+for f in "${artifacts}"/BENCH_*.json; do
+    name="$(basename "${f}")"
+    [ "${name}" = "BENCH_simperf.json" ] && continue # host wall-clock
+    cmp "${f}" "${sharded}/${name}"
+done
+echo "serial and sharded artifacts are byte-identical"
 
 # Surface the host-throughput numbers (events/sec per bench and the
 # suite aggregate) directly in the CI log, so every run leaves a
@@ -36,4 +55,21 @@ ls -l "${artifacts}"/BENCH_*.json
 echo "=== simulator throughput (BENCH_simperf.json) ==="
 cat "${artifacts}/BENCH_simperf.json"
 
-echo "=== CI passed (plain + ASan/UBSan + quick benches) ==="
+# EXPERIMENTS.md drift check: the committed report must match what
+# --render-md produces from a fresh full-scale run.  The benches are
+# deterministic, so regenerating the artifacts here is exact — no
+# committed JSON needed.
+full="${root}/build/bench-artifacts-full"
+echo "=== stashbench full scale + EXPERIMENTS.md drift check ==="
+mkdir -p "${full}"
+"${root}/build/bench/stashbench" --jobs "${jobs}" --out "${full}"
+"${root}/build/bench/stashbench" --out "${full}" \
+    --render-md "${root}/EXPERIMENTS.md"
+git -C "${root}" diff --exit-code -- EXPERIMENTS.md || {
+    echo "EXPERIMENTS.md is stale: regenerate it with" \
+         "'stashbench --out <dir> --render-md EXPERIMENTS.md'" \
+         "and commit" >&2
+    exit 1
+}
+
+echo "=== CI passed (plain + ASan/UBSan + TSan + quick benches + parity) ==="

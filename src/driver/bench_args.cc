@@ -50,6 +50,11 @@ BenchArgs::parse(int argc, char **argv, BenchArgs &out,
             if (!needsValue(i, argc, a, err))
                 return false;
             out.jobs = unsigned(std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(a, "--shards") == 0) {
+            if (!needsValue(i, argc, a, err))
+                return false;
+            out.shards =
+                unsigned(std::strtoul(argv[++i], nullptr, 10));
         } else if (std::strcmp(a, "--out") == 0) {
             if (!needsValue(i, argc, a, err))
                 return false;
@@ -93,6 +98,10 @@ BenchArgs::usage(const char *prog)
            "  --scale S           full | quick | smoke\n"
            "  --jobs N, -j N      sweep worker threads "
            "(default: hardware)\n"
+           "  --shards N          intra-run shard threads per run "
+           "(default 1 = serial,\n"
+           "                      0 = auto); artifacts are "
+           "byte-identical either way\n"
            "  --out DIR           artifact directory for "
            "BENCH_<name>.json (default: .)\n"
            "  --trace DIR         write a Chrome trace per run "

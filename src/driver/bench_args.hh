@@ -27,6 +27,8 @@ struct BenchArgs
     workloads::Scale scale = workloads::Scale::Full;
     /** Sweep worker threads; 0 = one per hardware thread. */
     unsigned jobs = 0;
+    /** Intra-run shard threads per run; 1 = serial, 0 = auto. */
+    unsigned shards = 1;
     /** Directory for BENCH_*.json (and TRACE_*.json) artifacts. */
     std::string outDir = ".";
     /** Bench names to run; empty = all. */
@@ -47,6 +49,7 @@ struct BenchArgs
      * Parses argv.  Recognized flags:
      *   --quick | --smoke | --scale full|quick|smoke
      *   --jobs N | -j N
+     *   --shards N
      *   --out DIR
      *   --trace DIR
      *   --components

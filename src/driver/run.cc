@@ -28,6 +28,8 @@ runSpec(const RunSpec &spec)
         cfg = WorkloadFactory::instance().defaultConfig(spec.workload);
     }
     cfg.memOrg = spec.org;
+    if (spec.shards)
+        cfg.shards = *spec.shards;
 
     workloads::WorkloadParams params;
     params.org = spec.org;

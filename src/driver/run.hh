@@ -41,6 +41,14 @@ struct RunSpec
     workloads::Scale scale = workloads::Scale::Full;
 
     /**
+     * Intra-run shard worker threads (SystemConfig::shards); unset
+     * keeps the configuration's own setting.  Applied on top of
+     * @ref config like @ref org, so sweeps can toggle the engine per
+     * run (1 = serial, N = sharded, 0 = auto).
+     */
+    std::optional<unsigned> shards;
+
+    /**
      * System configuration override; defaults to the workload kind's
      * Table 2 machine.  @ref org is applied on top either way.
      */

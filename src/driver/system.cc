@@ -1,6 +1,9 @@
 #include "driver/system.hh"
 
+#include <algorithm>
+#include <atomic>
 #include <ostream>
+#include <thread>
 
 #include "sim/log.hh"
 #include "verify/fault_injector.hh"
@@ -25,16 +28,74 @@ meshParamsOf(const SystemConfig &cfg)
     return mp;
 }
 
+unsigned
+resolveShardThreads(const SystemConfig &cfg)
+{
+    unsigned n = cfg.shards;
+    if (n == 0) {
+        n = std::thread::hardware_concurrency();
+        if (n == 0)
+            n = 1;
+    }
+    return std::min(std::max(n, 1u), cfg.numNodes());
+}
+
+std::unique_ptr<ShardEngine>
+makeEngine(const SystemConfig &cfg)
+{
+    ShardEngine::Options o;
+    o.threads = resolveShardThreads(cfg);
+    // Sharding with one worker would pay quantum overhead for no
+    // concurrency, so a single thread gets the serial single-queue
+    // engine (the byte-identical classic kernel).
+    o.tiles = o.threads > 1 ? cfg.numNodes() : 1;
+    o.lookahead = meshParamsOf(cfg).minLatencyTicks();
+    return std::make_unique<ShardEngine>(o);
+}
+
 } // namespace
 
+SimPerf::Sources
+System::perfSources()
+{
+    SimPerf::Sources s;
+    s.events = [this] { return engine->eventsExecuted(); };
+    s.tick = [this] { return engine->now(); };
+    s.shape = [this] {
+        QueueShape q;
+        q.peakLiveEvents = engine->peakLiveEvents();
+        q.poolChunks = engine->poolChunksAllocated();
+        q.wheelInserts = engine->wheelInserts();
+        q.farInserts = engine->farInserts();
+        return q;
+    };
+    return s;
+}
+
 System::System(const SystemConfig &cfg, const EnergyParams &energy)
-    : cfg(cfg), energyModel(energy), mesh(eq, meshParamsOf(cfg)),
-      fabric(mesh)
+    : cfg(cfg), energyModel(energy), engine(makeEngine(this->cfg)),
+      perf(perfSources()),
+      mesh(engine->queue(0), meshParamsOf(this->cfg)), fabric(mesh)
 {
     if (cfg.numGpuCus + cfg.numCpuCores > cfg.numNodes())
         fatal("more cores than mesh nodes");
     if (cfg.llcBanks != cfg.numNodes())
         fatal("this system places one LLC bank per mesh node");
+    if (sharded() && cfg.verify.faultInjection) {
+        fatal("fault injection requires the serial engine (shards=1): "
+              "injected perturbations schedule onto foreign tile "
+              "queues and consume RNG draws in host-dependent order");
+    }
+
+    // Bind the per-node queues so every Fabric send takes the
+    // canonical deferred path (identical in both modes; DESIGN.md
+    // section 10).
+    {
+        std::vector<EventQueue *> tq;
+        for (NodeId n = 0; n < cfg.numNodes(); ++n)
+            tq.push_back(&queueFor(n));
+        fabric.bindQueues(std::move(tq), sharded());
+    }
 
     // LLC banks: one per node.
     LlcBank::Params lp;
@@ -43,8 +104,9 @@ System::System(const SystemConfig &cfg, const EnergyParams &energy)
     lp.accessCycles = cfg.llcBankCycles;
     lp.dramCycles = cfg.dramCycles;
     for (NodeId n = 0; n < cfg.numNodes(); ++n) {
-        llcBanks.push_back(
-            std::make_unique<LlcBank>(eq, fabric, mem, n, lp));
+        llcBanks.push_back(std::make_unique<LlcBank>(queueFor(n),
+                                                     fabric, mem, n,
+                                                     lp));
         fabric.registerObject(n, Unit::Llc, llcBanks.back().get());
     }
 
@@ -59,6 +121,7 @@ System::System(const SystemConfig &cfg, const EnergyParams &energy)
     for (unsigned i = 0; i < cfg.numGpuCus; ++i) {
         const NodeId node = NodeId(i);
         const CoreId core = CoreId(i);
+        EventQueue &eq = queueFor(node);
         GpuNode g;
         g.tlb = std::make_unique<Tlb>(pageTable, cfg.vpMapEntries);
         g.l1 = std::make_unique<L1Cache>(eq, fabric, *g.tlb, core,
@@ -100,6 +163,7 @@ System::System(const SystemConfig &cfg, const EnergyParams &energy)
     for (unsigned i = 0; i < cfg.numCpuCores; ++i) {
         const NodeId node = NodeId(cfg.numGpuCus + i);
         const CoreId core = CoreId(cfg.numGpuCus + i);
+        EventQueue &eq = queueFor(node);
         CpuNode c;
         c.tlb = std::make_unique<Tlb>(pageTable, cfg.vpMapEntries);
         c.l1 = std::make_unique<L1Cache>(eq, fabric, *c.tlb, core,
@@ -113,8 +177,8 @@ System::System(const SystemConfig &cfg, const EnergyParams &energy)
 
     // Verification subsystem (all pieces independently toggleable).
     if (cfg.verify.faultInjection) {
-        _injector =
-            std::make_unique<FaultInjector>(eq, this->cfg.verify);
+        _injector = std::make_unique<FaultInjector>(eventQueue(),
+                                                    this->cfg.verify);
         fabric.setFaultInjector(_injector.get());
     }
     if (cfg.verify.protocolChecker) {
@@ -140,7 +204,8 @@ System::System(const SystemConfig &cfg, const EnergyParams &energy)
         }
     }
     if (cfg.verify.watchdog) {
-        _watchdog = std::make_unique<Watchdog>(eq, this->cfg.verify);
+        _watchdog = std::make_unique<Watchdog>(eventQueue(),
+                                               this->cfg.verify);
         _watchdog->setDumpFn(
             [this](std::ostream &os) { dumpDiagnostics(os); });
         for (auto &g : gpus) {
@@ -150,12 +215,17 @@ System::System(const SystemConfig &cfg, const EnergyParams &energy)
         }
         for (auto &c : cpus)
             c.core->setWatchdog(_watchdog.get());
+        // Sharded runs have no single queue to arm check events on;
+        // the engine's barrier hook drives the checks instead, at the
+        // quantum boundaries (the coherent global drain points).
+        if (sharded())
+            _watchdog->setExternalChecks(true);
         // The watchdog arms itself at the driver's drain points.
-        eq.addPhaseListener(_watchdog.get());
+        eventQueue().addPhaseListener(_watchdog.get());
     }
 
     // SimPerf samples host time at every drain boundary.
-    eq.addPhaseListener(&perf);
+    eventQueue().addPhaseListener(&perf);
 
     registerComponentStats();
 }
@@ -186,9 +256,9 @@ System::registerComponentStats()
     }
     registry.addGroup("noc", &mesh.stats());
     registry.addValue("sim.tick",
-                      [this] { return double(eq.curTick()); });
+                      [this] { return double(engine->now()); });
     registry.addValue("sim.gpuCycles", [this] {
-        return double(eq.curTick() / gpuClockPeriod);
+        return double(engine->now() / gpuClockPeriod);
     });
     registry.addValue("simperf.events",
                       [this] { return perf.eventsNow(); });
@@ -198,6 +268,18 @@ System::registerComponentStats()
                       [this] { return perf.eventsPerSecNow(); });
     registry.addValue("simperf.ticksPerHostSec",
                       [this] { return perf.ticksPerHostSecNow(); });
+    registry.addValue("simperf.peakLiveEvents", [this] {
+        return double(engine->peakLiveEvents());
+    });
+    registry.addValue("simperf.poolChunks", [this] {
+        return double(engine->poolChunksAllocated());
+    });
+    registry.addValue("simperf.wheelInserts", [this] {
+        return double(engine->wheelInserts());
+    });
+    registry.addValue("simperf.farInserts", [this] {
+        return double(engine->farInserts());
+    });
 }
 
 System::~System() = default;
@@ -206,12 +288,19 @@ void
 System::drain(const char *what)
 {
     // Phases only complete when no component generates further work,
-    // so running the event queue dry is a full drain.  The phase
-    // boundary is broadcast to every listener (watchdog, trace
-    // sinks) through the event queue.
-    eq.beginPhase(what);
-    eq.run();
-    eq.endPhase();
+    // so running every queue dry is a full drain.  The phase boundary
+    // is broadcast to every listener (watchdog, SimPerf) through the
+    // phase-hub queue.
+    eventQueue().beginPhase(what);
+    ShardEngine::BarrierHook hook;
+    if (_watchdog && sharded()) {
+        hook = [this](Tick quantum_end) {
+            _watchdog->barrierCheck(quantum_end,
+                                    engine->totalPending());
+        };
+    }
+    engine->drain([this] { fabric.flushStaged(); }, hook);
+    eventQueue().endPhase();
     // Drain points are the protocol's synchronization points: the
     // only moments the DeNovo invariants must hold globally.
     if (_checker)
@@ -230,18 +319,20 @@ System::runGpuPhase(Phase &phase)
             std::move(phase.kernel.blocks[b]));
     }
 
-    unsigned pending = 0;
+    // Atomic: sharded CUs complete on their tile's worker thread.
+    std::atomic<unsigned> pending{0};
     for (std::size_t i = 0; i < gpus.size(); ++i) {
         if (per_cu[i].blocks.empty())
             continue;
-        ++pending;
-        gpus[i].cu->runKernel(std::move(per_cu[i]),
-                              [&pending]() { --pending; });
+        pending.fetch_add(1, std::memory_order_relaxed);
+        gpus[i].cu->runKernel(std::move(per_cu[i]), [&pending] {
+            pending.fetch_sub(1, std::memory_order_relaxed);
+        });
     }
     drain("gpu kernel phase");
-    if (pending != 0 && _watchdog)
+    if (pending.load() != 0 && _watchdog)
         _watchdog->reportHang("gpu kernel phase");
-    sim_assert(pending == 0);
+    sim_assert(pending.load() == 0);
 }
 
 void
@@ -252,20 +343,36 @@ System::runCpuPhase(Phase &phase, std::vector<std::string> *errors)
     for (auto &c : cpus)
         c.l1->selfInvalidate();
 
-    unsigned pending = 0;
+    // Per-core error logs, merged in core order after the drain:
+    // sharded cores fail concurrently, and core-major order keeps the
+    // merged log identical across modes (serial interleaving by time
+    // would differ from any parallel schedule).
+    std::vector<std::vector<std::string>> coreErrors(
+        phase.cpuWork.size());
+    std::atomic<unsigned> pending{0};
     for (std::size_t i = 0; i < phase.cpuWork.size(); ++i) {
         if (phase.cpuWork[i].empty())
             continue;
         if (i >= cpus.size())
             fatal("workload uses more CPU cores than configured");
-        ++pending;
+        pending.fetch_add(1, std::memory_order_relaxed);
         cpus[i].core->run(std::move(phase.cpuWork[i]),
-                          [&pending]() { --pending; }, errors);
+                          [&pending] {
+                              pending.fetch_sub(
+                                  1, std::memory_order_relaxed);
+                          },
+                          &coreErrors[i]);
     }
     drain("cpu phase");
-    if (pending != 0 && _watchdog)
+    if (errors) {
+        for (auto &ce : coreErrors) {
+            for (auto &e : ce)
+                errors->push_back(std::move(e));
+        }
+    }
+    if (pending.load() != 0 && _watchdog)
         _watchdog->reportHang("cpu phase");
-    sim_assert(pending == 0);
+    sim_assert(pending.load() == 0);
 }
 
 RunResult
@@ -348,7 +455,7 @@ System::statsSnapshot() const
     for (const auto &b : llcBanks)
         s.llc.add(b->stats());
     s.noc.add(mesh.stats());
-    s.gpuCycles = eq.curTick() / gpuClockPeriod;
+    s.gpuCycles = engine->now() / gpuClockPeriod;
     s.numGpuCus = gpus.size();
     return s;
 }
@@ -380,11 +487,24 @@ System::llcBankOf(PhysAddr line_pa)
 void
 System::dumpDiagnostics(std::ostream &os) const
 {
-    os << "--- system state (tick " << eq.curTick() << ") ---\n";
-    os << "  event queue: " << eq.size() << " pending event(s)";
-    if (eq.size() > 0)
-        os << ", next at tick " << eq.nextTick();
-    os << "\n";
+    os << "--- system state (tick " << engine->now() << ") ---\n";
+    if (engine->serial()) {
+        const EventQueue &eq = engine->queue(0);
+        os << "  event queue: " << eq.size() << " pending event(s)";
+        if (eq.size() > 0)
+            os << ", next at tick " << eq.nextTick();
+        os << "\n";
+    } else {
+        os << "  event queues (" << engine->numTiles() << " tiles): "
+           << engine->totalPending() << " pending event(s)\n";
+        for (unsigned t = 0; t < engine->numTiles(); ++t) {
+            const EventQueue &eq = engine->queue(t);
+            if (eq.size() == 0)
+                continue;
+            os << "    tile " << t << ": " << eq.size()
+               << " pending, next at tick " << eq.nextTick() << "\n";
+        }
+    }
     fabric.dumpState(os);
     os << "  router channel reservations (busy-until tick):\n";
     static const char *dirName[] = {"N", "S", "E", "W", "L"};

@@ -10,6 +10,14 @@
  * coherent with the stash-extended DeNovo protocol through the shared
  * LLC.
  *
+ * Execution engine: all components schedule on a ShardEngine.  With
+ * cfg.shards == 1 (the default) the engine is a single event queue
+ * and runs exactly the classic serial kernel.  With cfg.shards > 1
+ * every mesh tile gets its own queue and the tiles advance in
+ * lock-step quanta bounded by the NoC's minimum cross-tile latency;
+ * cross-tile messages flow through the Fabric's canonical mailboxes
+ * so both modes produce byte-identical artifacts (DESIGN.md §10).
+ *
  * A run executes the workload's phases in order, draining all memory
  * activity between phases (the data-race-free synchronization points
  * the protocol relies on), then snapshots statistics, flushes every
@@ -40,6 +48,7 @@
 #include "noc/mesh.hh"
 #include "report/stats_registry.hh"
 #include "sim/event_queue.hh"
+#include "sim/shard_engine.hh"
 #include "sim/simperf.hh"
 #include "workloads/workload.hh"
 
@@ -95,8 +104,13 @@ class System
         return registry;
     }
 
+    /** True when running sharded (one queue per tile, >1 worker). */
+    bool sharded() const { return !engine->serial(); }
+
     /** @{ Component access for tests. */
-    EventQueue &eventQueue() { return eq; }
+    /** The phase-hub queue (tile 0; THE queue in serial mode). */
+    EventQueue &eventQueue() { return engine->queue(0); }
+    ShardEngine &shardEngine() { return *engine; }
     const SimPerf &simPerf() const { return perf; }
     FunctionalMem functionalMem() { return {mem, pageTable}; }
     const SystemConfig &config() const { return cfg; }
@@ -112,7 +126,7 @@ class System
     /** @} */
 
     /**
-     * Structured system-state dump: event queue, fabric in-flight
+     * Structured system-state dump: event queue(s), fabric in-flight
      * counts, router channel reservations, stash maps.  Runs on any
      * panic/fatal while the watchdog is enabled.
      */
@@ -136,18 +150,27 @@ class System
         std::unique_ptr<CpuCore> core;
     };
 
+    /** The queue @p node's components schedule on. */
+    EventQueue &queueFor(NodeId node)
+    {
+        return engine->serial() ? engine->queue(0)
+                                : engine->queue(node);
+    }
+
     void runGpuPhase(Phase &phase);
     void runCpuPhase(Phase &phase, std::vector<std::string> *errors);
     void drain(const char *what = "drain");
 
+    SimPerf::Sources perfSources();
     void registerComponentStats();
 
     SystemConfig cfg;
     EnergyModel energyModel;
     report::StatsRegistry registry;
 
-    EventQueue eq;
-    SimPerf perf{eq};
+    /** Declared before every component: they hold queue references. */
+    std::unique_ptr<ShardEngine> engine;
+    SimPerf perf;
     Mesh mesh;
     Fabric fabric;
     MainMemory mem;

@@ -1,5 +1,6 @@
 #include "mem/fabric.hh"
 
+#include <algorithm>
 #include <ostream>
 
 #include "sim/log.hh"
@@ -34,6 +35,16 @@ Fabric::nodeOfCore(CoreId core) const
 }
 
 void
+Fabric::bindQueues(std::vector<EventQueue *> queues, bool sharded)
+{
+    sim_assert(queues.size() == mesh.numNodes());
+    tileQueues = std::move(queues);
+    shardedMode = sharded;
+    staged.assign(tileQueues.size(), {});
+    flushArmedFor = noFlush;
+}
+
+void
 Fabric::send(NodeId src, NodeId dst, Unit unit, Msg msg)
 {
     auto it = objects.find(std::make_pair(dst, unsigned(unit)));
@@ -62,12 +73,67 @@ Fabric::send(NodeId src, NodeId dst, Unit unit, Msg msg)
 void
 Fabric::dispatch(NodeId src, NodeId dst, MemObject *target, Msg msg)
 {
-    ++_sent[unsigned(msg.type)];
-    mesh.send(src, dst, msgBytes(msg), msgClassOf(msg.type),
-              [this, target, msg = std::move(msg)]() {
-                  ++_delivered[unsigned(msg.type)];
-                  target->receive(msg);
-              });
+    _sent[unsigned(msg.type)].fetch_add(1, std::memory_order_relaxed);
+    if (tileQueues.empty()) {
+        // Unbound (standalone/unit-test) fabric: route immediately.
+        mesh.send(src, dst, msgBytes(msg), msgClassOf(msg.type),
+                  [this, target, msg = std::move(msg)]() {
+                      _delivered[unsigned(msg.type)].fetch_add(
+                          1, std::memory_order_relaxed);
+                      target->receive(msg);
+                  });
+        return;
+    }
+    const Tick t = tileQueues[src]->curTick();
+    staged[src].push_back({t, dst, target, std::move(msg)});
+    if (!shardedMode)
+        armFlush(t);
+}
+
+void
+Fabric::armFlush(Tick t)
+{
+    if (flushArmedFor == t)
+        return;
+    flushArmedFor = t;
+    tileQueues[0]->schedule(
+        t, [this] { flushStaged(); }, EventQueue::PriInternal);
+}
+
+void
+Fabric::flushStaged()
+{
+    flushArmedFor = noFlush;
+    // Canonical global routing order: (tick, src node, per-src send
+    // order).  Per-src vectors are already tick-ordered (each source
+    // stages in its own execution order), so the sort key is total
+    // and deterministic.  In serial mode every entry shares the
+    // current tick and this reduces to src-major order.
+    flushOrder.clear();
+    for (NodeId src = 0; src < staged.size(); ++src) {
+        for (std::uint32_t i = 0; i < staged[src].size(); ++i)
+            flushOrder.emplace_back(staged[src][i].tick, src, i);
+    }
+    std::sort(flushOrder.begin(), flushOrder.end());
+    for (const auto &[tick, src, idx] : flushOrder)
+        deliverStaged(src, staged[src][idx]);
+    for (auto &v : staged)
+        v.clear();
+}
+
+void
+Fabric::deliverStaged(NodeId src, Staged &e)
+{
+    const Tick arrive = mesh.route(src, e.dst, msgBytes(e.msg),
+                                   msgClassOf(e.msg.type), e.tick);
+    tileQueues[e.dst]->schedule(
+        arrive,
+        [this, target = e.target, msg = std::move(e.msg)]() {
+            _delivered[unsigned(msg.type)].fetch_add(
+                1, std::memory_order_relaxed);
+            target->receive(msg);
+        },
+        EventQueue::PriDelivery);
 }
 
 std::uint64_t
@@ -75,7 +141,7 @@ Fabric::totalInFlight() const
 {
     std::uint64_t n = 0;
     for (unsigned t = 0; t < numMsgTypes; ++t)
-        n += _sent[t] - _delivered[t];
+        n += inFlight(MsgType(t));
     return n;
 }
 
@@ -87,11 +153,15 @@ Fabric::dumpState(std::ostream &os) const
         os << ", " << droppedMsgs << " dropped by test filter";
     os << "\n";
     for (unsigned t = 0; t < numMsgTypes; ++t) {
-        if (_sent[t] == _delivered[t])
+        const std::uint64_t sent =
+            _sent[t].load(std::memory_order_relaxed);
+        const std::uint64_t delivered =
+            _delivered[t].load(std::memory_order_relaxed);
+        if (sent == delivered)
             continue;
         os << "  " << msgTypeName(MsgType(t)) << ": "
-           << _sent[t] - _delivered[t] << " in flight (" << _sent[t]
-           << " sent, " << _delivered[t] << " delivered)\n";
+           << sent - delivered << " in flight (" << sent << " sent, "
+           << delivered << " delivered)\n";
     }
 }
 

@@ -16,6 +16,7 @@
 #define STASHSIM_MEM_FABRIC_HH
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -70,6 +71,33 @@ class Fabric
     /** Sends @p msg from @p src to the @p unit at @p dst. */
     void send(NodeId src, NodeId dst, Unit unit, Msg msg);
 
+    /**
+     * Binds the per-node event queues and switches sends to the
+     * canonical deferred path: a send is staged in a per-source
+     * mailbox at the sender's current tick, and flushStaged() later
+     * routes every staged message in canonical (tick, src-node,
+     * per-src order) order.  Routing order is what channel
+     * reservations (and therefore packet timing) depend on, so
+     * fixing it canonically makes serial and sharded runs take
+     * identical reservations — the heart of the cross-mode
+     * determinism contract (DESIGN.md section 10).
+     *
+     * In serial mode (@p sharded false) every entry of @p queues is
+     * the same queue and the Fabric keeps itself flushed by
+     * scheduling a PriInternal event at each staging tick.  In
+     * sharded mode the engine calls flushStaged() at every quantum
+     * barrier instead.  An unbound Fabric (unit tests) routes
+     * immediately at send time.
+     */
+    void bindQueues(std::vector<EventQueue *> queues, bool sharded);
+
+    /**
+     * Routes and schedules every staged message in canonical order.
+     * Single-threaded: runs at a tick boundary (serial) or a quantum
+     * barrier with all shard workers parked (sharded).
+     */
+    void flushStaged();
+
     /** Convenience: sends a response back to the original requester. */
     void
     sendToRequester(NodeId src, const Msg &msg)
@@ -92,7 +120,8 @@ class Fabric
     std::uint64_t
     inFlight(MsgType t) const
     {
-        return _sent[unsigned(t)] - _delivered[unsigned(t)];
+        return _sent[unsigned(t)].load(std::memory_order_relaxed) -
+               _delivered[unsigned(t)].load(std::memory_order_relaxed);
     }
 
     /** Total messages sent but not yet delivered. */
@@ -102,18 +131,48 @@ class Fabric
     void dumpState(std::ostream &os) const;
 
   private:
-    /** Hands one (possibly perturbed) message to the mesh. */
+    /** One staged (sent, not yet routed) message. */
+    struct Staged
+    {
+        Tick tick; //!< sender's tick at send time
+        NodeId dst;
+        MemObject *target;
+        Msg msg;
+    };
+
+    /** Hands one (possibly perturbed) message to the send path. */
     void dispatch(NodeId src, NodeId dst, MemObject *target, Msg msg);
+
+    /** Routes one staged message and schedules its delivery. */
+    void deliverStaged(NodeId src, Staged &e);
+
+    /** Serial mode: ensures a flush event is pending for tick @p t. */
+    void armFlush(Tick t);
 
     Mesh &mesh;
     std::map<std::pair<NodeId, unsigned>, MemObject *> objects;
     std::vector<NodeId> coreNodes;
 
+    /** Empty until bindQueues(): immediate (legacy) send path. */
+    std::vector<EventQueue *> tileQueues;
+    bool shardedMode = false;
+    std::vector<std::vector<Staged>> staged; //!< per source node
+
+    static constexpr Tick noFlush = ~Tick{0};
+    Tick flushArmedFor = noFlush;
+
+    /** Canonical routing order scratch: (tick, src, per-src index). */
+    std::vector<std::tuple<Tick, NodeId, std::uint32_t>> flushOrder;
+
     FaultInjector *injector = nullptr;
     DropFilter dropFilter;
     std::uint64_t droppedMsgs = 0;
-    std::array<std::uint64_t, numMsgTypes> _sent{};
-    std::array<std::uint64_t, numMsgTypes> _delivered{};
+    /**
+     * Commutative counters, atomic because sharded tiles send and
+     * receive concurrently; totals are order-independent.
+     */
+    std::array<std::atomic<std::uint64_t>, numMsgTypes> _sent{};
+    std::array<std::atomic<std::uint64_t>, numMsgTypes> _delivered{};
 };
 
 } // namespace stashsim

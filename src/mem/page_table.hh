@@ -4,15 +4,20 @@
  *
  * The paper's system has one unified, coherent virtual address space
  * shared by CPUs and GPUs (Section 5.1), so one page table suffices.
- * Physical pages are allocated in first-touch order, which decouples
- * physical from virtual layout — this keeps the VP-map's reverse
+ * Physical pages are assigned by a 64-bit mix of the virtual page
+ * number into a huge sparse physical space, which decouples physical
+ * from virtual layout — this keeps the VP-map's reverse
  * (physical-to-virtual) translation honest: it cannot be faked by
- * arithmetic on the physical address.
+ * arithmetic on the physical address.  Unlike bump ("first-touch
+ * order") allocation, the assignment depends only on the page itself,
+ * so serial and sharded runs — which first-touch pages in different
+ * orders — produce identical address maps.
  */
 
 #ifndef STASHSIM_MEM_PAGE_TABLE_HH
 #define STASHSIM_MEM_PAGE_TABLE_HH
 
+#include <mutex>
 #include <unordered_map>
 
 #include "sim/types.hh"
@@ -21,19 +26,21 @@ namespace stashsim
 {
 
 /**
- * Virtual-to-physical page mapping with first-touch allocation.
+ * Virtual-to-physical page mapping with order-independent,
+ * hash-assigned physical pages.  Thread-safe: shards translate
+ * concurrently on TLB misses.
  */
 class PageTable
 {
   public:
     /**
-     * Translates a virtual address, allocating a physical page on
+     * Translates a virtual address, assigning a physical page on
      * first touch.
      */
     PhysAddr translate(Addr va);
 
     /**
-     * Side-effect-free translation: no first-touch allocation.
+     * Side-effect-free translation: no first-touch assignment.
      * @return true and sets @p pa when the page is already mapped.
      */
     bool lookup(Addr va, PhysAddr *pa) const;
@@ -45,17 +52,17 @@ class PageTable
     bool reverse(PhysAddr pa, Addr *va) const;
 
     /** Number of mapped pages. */
-    std::size_t numPages() const { return vToP.size(); }
+    std::size_t
+    numPages() const
+    {
+        std::lock_guard<std::mutex> g(mu);
+        return vToP.size();
+    }
 
   private:
-    std::unordered_map<Addr, PhysAddr> vToP;   //!< page -> page base
+    std::unordered_map<Addr, PhysAddr> vToP; //!< page -> page base
     std::unordered_map<PhysAddr, Addr> pToV;
-    /**
-     * Next free physical page base.  Starts above 4 GB so that
-     * accidentally treating a virtual address as physical (or vice
-     * versa) trips assertions instead of silently working.
-     */
-    PhysAddr nextPage = PhysAddr{4} << 30;
+    mutable std::mutex mu;
 };
 
 } // namespace stashsim

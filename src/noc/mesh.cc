@@ -25,6 +25,14 @@ void
 Mesh::send(NodeId src, NodeId dst, unsigned payload_bytes, MsgClass cls,
            DeliverFn on_deliver)
 {
+    const Tick t = route(src, dst, payload_bytes, cls, eq.curTick());
+    eq.schedule(t, std::move(on_deliver), EventQueue::PriDelivery);
+}
+
+Tick
+Mesh::route(NodeId src, NodeId dst, unsigned payload_bytes, MsgClass cls,
+            Tick send_tick)
+{
     sim_assert(src < numNodes() && dst < numNodes());
 
     const unsigned flits = flitsFor(payload_bytes);
@@ -38,7 +46,7 @@ Mesh::send(NodeId src, NodeId dst, unsigned payload_bytes, MsgClass cls,
     // link is reserved for this packet's serialization time; the
     // packet leaves a router after its pipeline delay plus any time
     // spent waiting for the output channel.
-    Tick t = eq.curTick();
+    Tick t = send_tick;
     unsigned x = nodeX(src), y = nodeY(src);
     const unsigned tx = nodeX(dst), ty = nodeY(dst);
     unsigned links = 0;
@@ -72,7 +80,7 @@ Mesh::send(NodeId src, NodeId dst, unsigned payload_bytes, MsgClass cls,
     _stats.packets += 1;
     _stats.flitHops[unsigned(cls)] += Counter(flits) * links;
 
-    eq.schedule(t, std::move(on_deliver), EventQueue::PriDelivery);
+    return t;
 }
 
 } // namespace stashsim

@@ -42,6 +42,20 @@ struct MeshParams
      * per flit crossing, this only affects serialization time.
      */
     unsigned flitsPerCycle = 4;
+
+    /**
+     * Lower bound on any packet's send-to-delivery latency, in ticks:
+     * even a same-node message pays one router pipeline traversal
+     * plus one flit group on the ejection port.  This is the sharded
+     * engine's conservative lookahead — within a quantum of this
+     * length no shard can observe another shard's sends, so shards
+     * may advance that far without synchronizing.
+     */
+    Tick
+    minLatencyTicks() const
+    {
+        return (routerCycles + linkCycles) * gpuClockPeriod;
+    }
 };
 
 /**
@@ -73,7 +87,22 @@ class Mesh
     void send(NodeId src, NodeId dst, unsigned payload_bytes,
               MsgClass cls, DeliverFn on_deliver);
 
+    /**
+     * Times a packet injected at @p send_tick: walks the XY route,
+     * reserves every traversed channel, charges traffic counters, and
+     * returns the arrival tick (>= send_tick + params.minLatencyTicks())
+     * without scheduling anything.  The Fabric's canonical flush path
+     * uses this so it can route packets in a fixed global order and
+     * place the delivery on the destination tile's queue itself.
+     * NOT thread-safe: callers serialize (flushes run single-threaded
+     * at tick/quantum boundaries).
+     */
+    Tick route(NodeId src, NodeId dst, unsigned payload_bytes,
+               MsgClass cls, Tick send_tick);
+
     const NocStats &stats() const { return _stats; }
+
+    const MeshParams &meshParams() const { return params; }
 
     /** Per-test access to routers. */
     Router &router(NodeId n) { return routers.at(n); }

@@ -216,23 +216,50 @@ EventQueue::schedule(Tick when, Callback cb, int priority)
     if (when - wheelBase < wheelSize) {
         bucketInsert(ev);
         ++wheelCount;
+        ++_wheelInserts;
     } else {
         far.push_back(ev);
         std::push_heap(far.begin(), far.end(), FarLater{});
+        ++_farInserts;
     }
     ++_size;
+    if (_size > _peakLive)
+        _peakLive = _size;
+}
+
+void
+EventQueue::setTime(Tick t)
+{
+    sim_assert(_size == 0);
+    sim_assert(t >= _lastEventTick);
+    _curTick = t;
+    // The queue is empty, so the wheel can be re-anchored at the new
+    // time.  This matters on a rewind: wheelBase advances with every
+    // pop (a far-future internal event can carry it well past the
+    // model's clock), and a stale base ahead of curTick would alias
+    // newly scheduled near events into wrong window positions.
+    wheelBase = t;
 }
 
 void
 EventQueue::executeEvent(Event *ev)
 {
     _curTick = ev->when;
+    // Internal bookkeeping events (fabric flushes, watchdog polls) do
+    // not advance the simulated clock: lastEventTick is "when the
+    // model last did work", the tick drains realign to.  A watchdog
+    // poll landing long after the last model event must not inflate
+    // the run's reported time.
+    const bool internal = ev->priority == PriInternal;
+    if (!internal)
+        _lastEventTick = ev->when;
     // Move the callback out and recycle before invoking: the
     // callback may schedule new events, and the freed slot is
     // immediately reusable.
     Callback cb = std::move(ev->cb);
     recycleEvent(ev);
-    ++_executed;
+    if (!internal)
+        ++_executed;
     cb();
 }
 
@@ -294,6 +321,7 @@ EventQueue::reset()
     wheelCount = 0;
     _size = 0;
     _curTick = 0;
+    _lastEventTick = 0;
     nextSeq = 0;
     // Listeners survive a reset: they observe the queue, not its
     // contents.  _executed survives too (lifetime observability).

@@ -214,6 +214,14 @@ class EventQueue
         PriDelivery = -10, //!< message deliveries before component ticks
         PriDefault = 0,
         PriStats = 10, //!< end-of-phase bookkeeping after everything
+        /**
+         * Engine bookkeeping (e.g. the Fabric's per-tick NoC flush in
+         * serial mode).  Runs after every model event of the tick and
+         * is excluded from eventsExecuted(), so serial and sharded
+         * runs — which have no such events — report identical event
+         * counts in the deterministic artifacts.
+         */
+        PriInternal = std::numeric_limits<int>::max(),
     };
 
     EventQueue() = default;
@@ -224,6 +232,25 @@ class EventQueue
 
     /** Current simulated time. */
     Tick curTick() const { return _curTick; }
+
+    /**
+     * Tick of the most recently executed event (0 before any).
+     * Unlike curTick(), a bounded run() does not advance this, so a
+     * sharded engine can tell "real" simulated progress apart from
+     * quantum-bound bookkeeping when aligning shard clocks.
+     */
+    Tick lastEventTick() const { return _lastEventTick; }
+
+    /**
+     * Force-sets the current time on an EMPTY queue (forward or
+     * backward, but never before lastEventTick()).  The sharded
+     * engine uses this at drain completion to align every shard's
+     * clock to the global last-event tick: a bounded run() on an idle
+     * shard advances curTick to the quantum bound, which may overshoot
+     * the serial drain time that controller-context code (phase
+     * boundaries, next-phase scheduling) must observe.
+     */
+    void setTime(Tick t);
 
     /** Schedules @p cb to run at absolute time @p when (>= curTick). */
     void schedule(Tick when, Callback cb, int priority = PriDefault);
@@ -278,8 +305,23 @@ class EventQueue
     /**
      * Total events executed over the queue's lifetime (monotone;
      * survives reset()).  SimPerf derives events/sec from this.
+     * PriInternal bookkeeping events are not counted.
      */
     std::uint64_t eventsExecuted() const { return _executed; }
+
+    /** @{
+     * Queue-shape observability (monotone; survive reset()).  SimPerf
+     * exports these so queue tuning is measured rather than guessed.
+     */
+    /** High-water mark of simultaneously pending events. */
+    std::size_t peakLiveEvents() const { return _peakLive; }
+    /** Pool chunks allocated (capacity = chunks * poolChunkEvents). */
+    std::size_t poolChunksAllocated() const { return poolChunks.size(); }
+    /** schedule() calls landing in a calendar-wheel bucket. */
+    std::uint64_t wheelInserts() const { return _wheelInserts; }
+    /** schedule() calls landing in the far-horizon heap. */
+    std::uint64_t farInserts() const { return _farInserts; }
+    /** @} */
 
     /** @{ Phase/drain boundary notification (see PhaseListener). */
     void addPhaseListener(PhaseListener *l);
@@ -382,8 +424,12 @@ class EventQueue
 
     std::size_t _size = 0;
     Tick _curTick = 0;
+    Tick _lastEventTick = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t _executed = 0;
+    std::size_t _peakLive = 0;
+    std::uint64_t _wheelInserts = 0;
+    std::uint64_t _farInserts = 0;
     std::vector<PhaseListener *> phaseListeners;
     std::string _phaseName;
 };

@@ -1,0 +1,206 @@
+#include "sim/shard_engine.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/log.hh"
+
+namespace stashsim
+{
+
+ShardEngine::ShardEngine(const Options &o)
+    : opts(o), barrier(std::max(1u, std::min(o.threads, o.tiles)))
+{
+    sim_assert(opts.tiles >= 1);
+    opts.threads = std::max(1u, std::min(opts.threads, opts.tiles));
+    if (opts.tiles > 1 && opts.lookahead < 1) {
+        fatal("shard engine: mesh minimum latency is ",
+              opts.lookahead,
+              " ticks; sharded execution needs lookahead >= 1");
+    }
+    queues.reserve(opts.tiles);
+    for (unsigned i = 0; i < opts.tiles; ++i)
+        queues.push_back(std::make_unique<EventQueue>());
+}
+
+std::uint64_t
+ShardEngine::eventsExecuted() const
+{
+    std::uint64_t n = 0;
+    for (const auto &q : queues)
+        n += q->eventsExecuted();
+    return n;
+}
+
+std::size_t
+ShardEngine::totalPending() const
+{
+    std::size_t n = 0;
+    for (const auto &q : queues)
+        n += q->size();
+    return n;
+}
+
+std::size_t
+ShardEngine::peakLiveEvents() const
+{
+    std::size_t n = 0;
+    for (const auto &q : queues)
+        n = std::max(n, q->peakLiveEvents());
+    return n;
+}
+
+std::size_t
+ShardEngine::poolChunksAllocated() const
+{
+    std::size_t n = 0;
+    for (const auto &q : queues)
+        n += q->poolChunksAllocated();
+    return n;
+}
+
+std::uint64_t
+ShardEngine::wheelInserts() const
+{
+    std::uint64_t n = 0;
+    for (const auto &q : queues)
+        n += q->wheelInserts();
+    return n;
+}
+
+std::uint64_t
+ShardEngine::farInserts() const
+{
+    std::uint64_t n = 0;
+    for (const auto &q : queues)
+        n += q->farInserts();
+    return n;
+}
+
+void
+ShardEngine::computeNextQuantum()
+{
+    Tick base = std::numeric_limits<Tick>::max();
+    for (const auto &q : queues) {
+        if (!q->empty())
+            base = std::min(base, q->nextTick());
+    }
+    // Adaptive quantum: jump straight to the earliest pending event
+    // instead of stepping empty lookahead windows.  Every event
+    // executed in [base, base + L - 1] stages its sends at >= base,
+    // and every send takes >= L ticks to arrive, so no delivery can
+    // land inside the quantum — the shards are independent within it.
+    qEnd = base + opts.lookahead - 1;
+    ++_quanta;
+}
+
+void
+ShardEngine::onBarrier(const FlushFn &flush, const BarrierHook &hook)
+{
+    if (errorFlag.load(std::memory_order_relaxed)) {
+        done = true;
+        return;
+    }
+    try {
+        flush();
+        if (hook)
+            hook(qEnd);
+        if (totalPending() == 0)
+            done = true;
+        else
+            computeNextQuantum();
+    } catch (...) {
+        controlError = std::current_exception();
+        done = true;
+    }
+}
+
+void
+ShardEngine::workerLoop(unsigned w, const FlushFn &flush,
+                        const BarrierHook &hook)
+{
+    while (!done) {
+        if (!errorFlag.load(std::memory_order_relaxed)) {
+            try {
+                for (unsigned tile = w; tile < opts.tiles;
+                     tile += opts.threads) {
+                    queues[tile]->run(qEnd);
+                }
+            } catch (...) {
+                workerErrors[w] = std::current_exception();
+                errorFlag.store(true, std::memory_order_relaxed);
+            }
+        }
+        barrier.arriveAndWait([&] { onBarrier(flush, hook); });
+    }
+}
+
+void
+ShardEngine::drain(const FlushFn &flush, const BarrierHook &hook)
+{
+    if (serial()) {
+        // The Fabric keeps itself flushed with PriInternal events in
+        // serial mode; one unbounded run is the whole drain.  The
+        // realignment matters here too: a trailing internal event (a
+        // watchdog poll) may have carried curTick past the last model
+        // event, and both engines must report the same "now".
+        queues[0]->run();
+        normalizeTimes();
+        return;
+    }
+
+    // Route anything staged from controller context (kernel launches,
+    // cache flushAll) before the first quantum.
+    flush();
+    if (totalPending() == 0) {
+        normalizeTimes();
+        return;
+    }
+
+    done = false;
+    errorFlag.store(false, std::memory_order_relaxed);
+    controlError = nullptr;
+    workerErrors.assign(opts.threads, nullptr);
+    computeNextQuantum();
+
+    std::vector<std::thread> pool;
+    pool.reserve(opts.threads - 1);
+    for (unsigned w = 1; w < opts.threads; ++w) {
+        pool.emplace_back(
+            [this, w, &flush, &hook] { workerLoop(w, flush, hook); });
+    }
+    workerLoop(0, flush, hook);
+    for (std::thread &t : pool)
+        t.join();
+
+    normalizeTimes();
+
+    if (controlError)
+        std::rethrow_exception(controlError);
+    for (const std::exception_ptr &e : workerErrors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+}
+
+void
+ShardEngine::normalizeTimes()
+{
+    // Bounded quantum runs advance idle queues' clocks to the quantum
+    // bound, which can overshoot the tick the drain actually ended at
+    // (the global last executed event).  Rewind every drained queue
+    // to that tick so controller-context code — phase boundaries,
+    // next-phase scheduling, statsSnapshot — observes exactly the
+    // serial engine's notion of "now".
+    Tick last = 0;
+    for (const auto &q : queues)
+        last = std::max(last, q->lastEventTick());
+    for (const auto &q : queues) {
+        // On an error path a queue may still hold events; leave its
+        // clock alone (the drain is about to rethrow).
+        if (q->empty())
+            q->setTime(last);
+    }
+}
+
+} // namespace stashsim

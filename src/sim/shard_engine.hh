@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Sharded intra-run parallel execution engine.
+ *
+ * The system is partitioned by mesh tile: each tile's components
+ * (CU/CPU core, L1/stash, LLC bank, DMA) schedule exclusively on
+ * their own pooled calendar EventQueue.  All tiles advance in
+ * lock-step quanta whose length is the NoC's minimum cross-tile
+ * latency (conservative lookahead, MeshParams::minLatencyTicks());
+ * within a quantum no tile can observe another tile's sends, so the
+ * tiles' event executions are independent and a worker pool may run
+ * them concurrently.  At each quantum barrier the last-arriving
+ * worker — alone, with every other worker parked — flushes the
+ * Fabric's cross-tile mailboxes in canonical order and picks the next
+ * quantum.  See DESIGN.md section 10 for why this preserves the
+ * serial determinism contract bit-for-bit.
+ *
+ * With one tile the engine degenerates to the serial kernel: drain()
+ * is a single unbounded run() on the one queue and no barrier or
+ * worker threads exist.
+ */
+
+#ifndef STASHSIM_SIM_SHARD_ENGINE_HH
+#define STASHSIM_SIM_SHARD_ENGINE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace stashsim
+{
+
+/**
+ * Sense-reversing central barrier whose last arriver runs a
+ * completion function inline before releasing the others.
+ *
+ * std::barrier's completion must be noexcept; ours may throw (the
+ * flush can hit a protocol fatal()), so the caller wraps it and we
+ * only require that the wrapped call returns.  Waiters spin briefly
+ * then block on the generation word (futex-backed atomic wait), which
+ * keeps the barrier correct and cheap even on a single hardware
+ * thread.
+ */
+class QuantumBarrier
+{
+  public:
+    explicit QuantumBarrier(unsigned parties) : parties(parties) {}
+
+    /**
+     * Arrives; the last arriver runs @p on_last (must not throw),
+     * then everyone proceeds.  Writes made by @p on_last
+     * happen-before every waiter's return.
+     */
+    void
+    arriveAndWait(const std::function<void()> &on_last)
+    {
+        const std::uint64_t gen =
+            generation.load(std::memory_order_acquire);
+        if (arrived.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            parties) {
+            on_last();
+            arrived.store(0, std::memory_order_relaxed);
+            generation.fetch_add(1, std::memory_order_release);
+            generation.notify_all();
+            return;
+        }
+        for (int spins = 0;
+             generation.load(std::memory_order_acquire) == gen;
+             ++spins) {
+            if (spins < 64)
+                std::this_thread::yield();
+            else
+                generation.wait(gen, std::memory_order_acquire);
+        }
+    }
+
+  private:
+    const unsigned parties;
+    std::atomic<unsigned> arrived{0};
+    std::atomic<std::uint64_t> generation{0};
+};
+
+/**
+ * Owns the per-tile event queues and the quantum-stepped drain loop.
+ */
+class ShardEngine
+{
+  public:
+    struct Options
+    {
+        unsigned tiles = 1;   //!< one event queue per mesh tile
+        unsigned threads = 1; //!< worker threads (<= tiles)
+        /** Quantum length: the NoC's minimum cross-tile latency. */
+        Tick lookahead = 0;
+    };
+
+    /** Flushes cross-tile mailboxes; runs with all workers parked. */
+    using FlushFn = std::function<void()>;
+    /** Observes each quantum boundary (watchdog); same context. */
+    using BarrierHook = std::function<void(Tick quantum_end)>;
+
+    explicit ShardEngine(const Options &opts);
+
+    /** True when running the serial (single-queue, no-barrier) path. */
+    bool serial() const { return opts.tiles == 1; }
+
+    unsigned numTiles() const { return opts.tiles; }
+    unsigned numThreads() const { return opts.threads; }
+    Tick lookahead() const { return opts.lookahead; }
+
+    /** The queue tile @p tile's components schedule on. */
+    EventQueue &queue(unsigned tile) { return *queues[tile]; }
+    const EventQueue &queue(unsigned tile) const { return *queues[tile]; }
+
+    /**
+     * Runs until every queue is globally drained.  Serial: one
+     * unbounded run() ( @p flush may be null; event-driven flushing
+     * is the Fabric's job).  Sharded: lock-step quanta with @p flush
+     * (and @p hook, if any) at every barrier, then every queue's
+     * clock is aligned to the global last-event tick so
+     * controller-context code sees one coherent time.  A worker
+     * exception (fatal(), protocol violation) parks the fleet,
+     * normalizes time, and rethrows on this thread.
+     */
+    void drain(const FlushFn &flush, const BarrierHook &hook);
+
+    /** Coherent global time; valid between drains. */
+    Tick now() const { return queues[0]->curTick(); }
+
+    /** Model events executed across all tiles (excludes PriInternal). */
+    std::uint64_t eventsExecuted() const;
+
+    /** Pending events across all tiles. */
+    std::size_t totalPending() const;
+
+    /** @{ Aggregated queue-shape counters (see EventQueue). */
+    std::size_t peakLiveEvents() const;  //!< max over tiles
+    std::size_t poolChunksAllocated() const; //!< sum over tiles
+    std::uint64_t wheelInserts() const;  //!< sum over tiles
+    std::uint64_t farInserts() const;    //!< sum over tiles
+    /** @} */
+
+    /** Quantum barriers crossed over the engine's lifetime. */
+    std::uint64_t quantaExecuted() const { return _quanta; }
+
+  private:
+    void workerLoop(unsigned w, const FlushFn &flush,
+                    const BarrierHook &hook);
+    void onBarrier(const FlushFn &flush, const BarrierHook &hook);
+    void computeNextQuantum();
+    void normalizeTimes();
+
+    Options opts;
+    /** unique_ptr: EventQueue is non-movable; the array is fixed. */
+    std::vector<std::unique_ptr<EventQueue>> queues;
+
+    QuantumBarrier barrier;
+
+    /**
+     * Quantum state.  Written only by the barrier completion (or the
+     * controller before workers start) and read by workers after the
+     * barrier release, which provides the ordering.
+     */
+    Tick qEnd = 0;
+    bool done = false;
+
+    std::atomic<bool> errorFlag{false};
+    std::vector<std::exception_ptr> workerErrors;
+    std::exception_ptr controlError;
+
+    std::uint64_t _quanta = 0;
+};
+
+} // namespace stashsim
+
+#endif // STASHSIM_SIM_SHARD_ENGINE_HH

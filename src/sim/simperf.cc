@@ -1,19 +1,35 @@
 #include "sim/simperf.hh"
 
+#include "sim/log.hh"
+
 namespace stashsim
 {
 
-SimPerf::SimPerf(const EventQueue &eq) : eq(eq)
+SimPerf::SimPerf(Sources sources) : src(std::move(sources))
 {
+    sim_assert(src.events && src.tick);
     runBegin();
+}
+
+SimPerf::SimPerf(const EventQueue &eq)
+    : SimPerf(Sources{
+          [&eq] { return eq.eventsExecuted(); },
+          [&eq] { return eq.curTick(); },
+          [&eq] {
+              return QueueShape{eq.peakLiveEvents(),
+                                eq.poolChunksAllocated(),
+                                eq.wheelInserts(), eq.farInserts()};
+          },
+      })
+{
 }
 
 void
 SimPerf::runBegin()
 {
     start = HostClock::now();
-    eventsAtStart = eq.eventsExecuted();
-    tickAtStart = eq.curTick();
+    eventsAtStart = src.events();
+    tickAtStart = src.tick();
     open = false;
     phases.clear();
 }
@@ -34,7 +50,7 @@ SimPerf::phaseBegin(const char *, Tick)
 {
     open = true;
     openStart = HostClock::now();
-    openEvents = eq.eventsExecuted();
+    openEvents = src.events();
 }
 
 void
@@ -45,7 +61,7 @@ SimPerf::phaseEnd(const char *name, Tick)
     open = false;
     SimPerfPhase &p = phaseTotals(name);
     ++p.count;
-    p.events += eq.eventsExecuted() - openEvents;
+    p.events += src.events() - openEvents;
     p.hostSeconds +=
         std::chrono::duration<double>(HostClock::now() - openStart)
             .count();
@@ -55,9 +71,11 @@ SimPerfSummary
 SimPerf::summary() const
 {
     SimPerfSummary s;
-    s.events = eq.eventsExecuted() - eventsAtStart;
-    s.simTicks = eq.curTick() - tickAtStart;
+    s.events = src.events() - eventsAtStart;
+    s.simTicks = src.tick() - tickAtStart;
     s.hostSeconds = hostSecondsNow();
+    if (src.shape)
+        s.shape = src.shape();
     s.phases = phases;
     return s;
 }
@@ -72,7 +90,7 @@ SimPerf::hostSecondsNow() const
 double
 SimPerf::eventsNow() const
 {
-    return double(eq.eventsExecuted() - eventsAtStart);
+    return double(src.events() - eventsAtStart);
 }
 
 double
@@ -86,7 +104,7 @@ double
 SimPerf::ticksPerHostSecNow() const
 {
     const double secs = hostSecondsNow();
-    return secs > 0 ? double(eq.curTick() - tickAtStart) / secs : 0;
+    return secs > 0 ? double(src.tick() - tickAtStart) / secs : 0;
 }
 
 } // namespace stashsim

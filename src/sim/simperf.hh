@@ -1,14 +1,20 @@
 /**
  * @file
- * SimPerf: host-side throughput observability for one EventQueue.
+ * SimPerf: host-side throughput observability for the event kernel.
  *
  * The simulator's own performance — how fast the host executes
  * simulated events — was previously guessed from wall-clock runs of
- * the bench suite.  SimPerf measures it: attached to an EventQueue as
- * a PhaseListener, it samples host time (steady_clock) and the
- * queue's cumulative event counter at every phase boundary, and
- * aggregates per-phase-name totals plus whole-run events/sec and
- * sim-ticks per host-second.
+ * the bench suite.  SimPerf measures it: attached to the driver's
+ * phase-hub EventQueue as a PhaseListener, it samples host time
+ * (steady_clock) and the engine's cumulative event counter at every
+ * phase boundary, and aggregates per-phase-name totals plus whole-run
+ * events/sec and sim-ticks per host-second.
+ *
+ * The counters are read through sampler functions, not a fixed queue
+ * reference: a serial run samples its one EventQueue, a sharded run
+ * samples the ShardEngine's per-tile aggregate.  Queue-shape counters
+ * (peak live events, pool chunks, wheel vs far-heap insert split) ride
+ * along so queue tuning is measured rather than guessed.
  *
  * The System driver owns one SimPerf per run and copies its summary
  * into RunResult::perf; stashbench rolls the per-run summaries into
@@ -24,6 +30,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -42,12 +49,25 @@ struct SimPerfPhase
     double hostSeconds = 0;   //!< host wall-clock spent inside them
 };
 
+/**
+ * Event-pool/queue-shape snapshot (lifetime counters; sharded runs
+ * aggregate across tiles — peak is a max, the rest are sums).
+ */
+struct QueueShape
+{
+    std::uint64_t peakLiveEvents = 0;
+    std::uint64_t poolChunks = 0;
+    std::uint64_t wheelInserts = 0;
+    std::uint64_t farInserts = 0;
+};
+
 /** Whole-run throughput summary (RunResult::perf). */
 struct SimPerfSummary
 {
     std::uint64_t events = 0; //!< events executed during the run
     Tick simTicks = 0;        //!< simulated ticks covered by the run
     double hostSeconds = 0;   //!< host wall-clock of the whole run
+    QueueShape shape;         //!< queue-shape counters at summary time
     std::vector<SimPerfPhase> phases; //!< first-seen name order
 
     double
@@ -64,11 +84,22 @@ struct SimPerfSummary
 };
 
 /**
- * Measures one event queue; see file comment.
+ * Measures one simulation engine; see file comment.
  */
 class SimPerf : public PhaseListener
 {
   public:
+    /** Counter sources; called only from controller context. */
+    struct Sources
+    {
+        std::function<std::uint64_t()> events;
+        std::function<Tick()> tick;
+        std::function<QueueShape()> shape; //!< may be null
+    };
+
+    explicit SimPerf(Sources sources);
+
+    /** Convenience: measures a single queue directly. */
     explicit SimPerf(const EventQueue &eq);
 
     /**
@@ -95,7 +126,7 @@ class SimPerf : public PhaseListener
 
     SimPerfPhase &phaseTotals(const char *name);
 
-    const EventQueue &eq;
+    Sources src;
     HostClock::time_point start;
     std::uint64_t eventsAtStart = 0;
     Tick tickAtStart = 0;

@@ -89,6 +89,7 @@ ProtocolChecker::fail(const char *context)
 void
 ProtocolChecker::onStore(PhysAddr pa, std::uint32_t value)
 {
+    std::lock_guard<std::recursive_mutex> g(mu);
     ++_storesSeen;
     golden[pa] = value;
     opaque.erase(pa);
@@ -97,6 +98,7 @@ ProtocolChecker::onStore(PhysAddr pa, std::uint32_t value)
 void
 ProtocolChecker::onOpaqueStore(PhysAddr pa)
 {
+    std::lock_guard<std::recursive_mutex> g(mu);
     golden.erase(pa);
     opaque.insert(pa);
 }
@@ -105,6 +107,7 @@ void
 ProtocolChecker::onFill(const char *unit, CoreId core, PhysAddr pa,
                         std::uint32_t value)
 {
+    std::lock_guard<std::recursive_mutex> g(mu);
     if (opaque.count(pa))
         return;
     auto it = golden.find(pa);
@@ -128,6 +131,7 @@ void
 ProtocolChecker::onSelfInvalidate(const char *unit, CoreId core,
                                   std::uint64_t addr, WordState prior)
 {
+    std::lock_guard<std::recursive_mutex> g(mu);
     if (prior != WordState::Registered)
         return;
     std::ostringstream os;
@@ -141,6 +145,7 @@ ProtocolChecker::onSelfInvalidate(const char *unit, CoreId core,
 void
 ProtocolChecker::onDirtyDataUnderflow(CoreId core, unsigned idx)
 {
+    std::lock_guard<std::recursive_mutex> g(mu);
     std::ostringstream os;
     os << "#DirtyData underflow: stash of core " << core
        << ", map entry " << idx
@@ -156,6 +161,7 @@ ProtocolChecker::onDirtyDataUnderflow(CoreId core, unsigned idx)
 void
 ProtocolChecker::audit(const char *when)
 {
+    std::lock_guard<std::recursive_mutex> g(mu);
     ++_auditsRun;
     const std::size_t before = violations.size();
 
@@ -318,6 +324,7 @@ ProtocolChecker::audit(const char *when)
 void
 ProtocolChecker::checkFinalMemory(const MainMemory &mem)
 {
+    std::lock_guard<std::recursive_mutex> g(mu);
     const std::size_t before = violations.size();
     for (const auto &[pa, value] : golden) {
         if (opaque.count(pa))

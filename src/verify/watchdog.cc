@@ -16,7 +16,7 @@ Watchdog::Watchdog(EventQueue &eq, const VerifyConfig &cfg)
     hookId = registerDiagnosticHook([this]() {
         std::cerr << "--- watchdog diagnostics (tick " << this->eq.curTick()
                   << ", phase '" << phaseName << "', progress "
-                  << _progress << ") ---\n";
+                  << progressCount() << ") ---\n";
         if (dumpFn)
             dumpFn(std::cerr);
         std::cerr.flush();
@@ -33,10 +33,13 @@ Watchdog::beginPhase(const char *what)
 {
     ++generation;
     phaseName = what;
-    lastProgress = _progress;
+    lastProgress = progressCount();
     stalls = 0;
     armed = true;
-    armCheck();
+    if (externalChecks)
+        nextCheckAt = 0;
+    else
+        armCheck();
 }
 
 void
@@ -50,11 +53,13 @@ void
 Watchdog::armCheck()
 {
     const std::uint64_t gen = generation;
-    // PriStats: check after the tick's real work, so progress made at
-    // this very tick is seen.
+    // PriInternal: check after the tick's real work (so progress made
+    // at this very tick is seen), and keep the poll out of the
+    // model's clock and event accounting — a poll firing after the
+    // last model event must not change the run's reported time.
     eq.scheduleIn(cfg.watchdogCheckTicks,
                   [this, gen]() { check(gen); },
-                  EventQueue::PriStats);
+                  EventQueue::PriInternal);
 }
 
 void
@@ -62,22 +67,46 @@ Watchdog::check(std::uint64_t gen)
 {
     if (gen != generation)
         return; // stale: armed for an earlier phase
-    if (_progress != lastProgress) {
-        lastProgress = _progress;
+    observe(eq.size());
+    // Re-arm only while the simulation is still doing something; an
+    // empty queue means the drain is complete (or the driver will
+    // report a hang).
+    if (eq.size() > 0)
+        armCheck();
+}
+
+void
+Watchdog::barrierCheck(Tick now, std::size_t pending)
+{
+    if (!armed)
+        return;
+    if (nextCheckAt == 0) {
+        // First barrier of the phase establishes the cadence; the
+        // watchdog has no tick source of its own in external mode.
+        nextCheckAt = now + cfg.watchdogCheckTicks;
+        return;
+    }
+    if (now < nextCheckAt)
+        return;
+    nextCheckAt = now + cfg.watchdogCheckTicks;
+    observe(pending);
+}
+
+void
+Watchdog::observe(std::size_t pending)
+{
+    const std::uint64_t progress = progressCount();
+    if (progress != lastProgress) {
+        lastProgress = progress;
         stalls = 0;
     } else if (++stalls >= cfg.watchdogStallChecks) {
         std::ostringstream os;
         os << "no forward progress in phase '" << phaseName << "' for "
            << stalls << " consecutive checks ("
            << stalls * cfg.watchdogCheckTicks << " ticks); "
-           << eq.size() << " events still pending (livelock?)";
+           << pending << " events still pending (livelock?)";
         trip(os.str());
     }
-    // Re-arm only while the simulation is still doing something; an
-    // empty queue means the drain is complete (or the driver will
-    // report a hang).
-    if (eq.size() > 0)
-        armCheck();
 }
 
 void

@@ -185,6 +185,68 @@ TEST(StashbenchSchemaTest, SimperfCollectorEmitsAggregateDocument)
     EXPECT_GE(totals->find("ticksPerHostSec")->asNumber(), 0);
 }
 
+TEST(StashbenchSchemaTest, BenchListCarriesScalesAndDescriptions)
+{
+    for (const BenchInfo &b : benchList()) {
+        ASSERT_NE(b.scales, nullptr) << b.name;
+        EXPECT_NE(b.scales[0], '\0') << b.name;
+        ASSERT_NE(b.desc, nullptr) << b.name;
+        EXPECT_NE(b.desc[0], '\0') << b.name;
+    }
+    // table3 runs no simulation and thus has no scales.
+    EXPECT_STREQ(findBench("table3")->scales, "-");
+}
+
+TEST(StashbenchSchemaTest, SimperfDocumentRecordsEngineShape)
+{
+    const BenchInfo *bench = findBench("fig5");
+    ASSERT_NE(bench, nullptr);
+    SimperfCollector simperf;
+    simperf.shards = 4;
+    BenchContext ctx;
+    ctx.scale = workloads::Scale::Smoke;
+    ctx.shards = 4;
+    ctx.simperf = &simperf;
+    bench->run(ctx);
+
+    const JsonValue doc = simperf.toJson("smoke", 1.0);
+    EXPECT_EQ(doc.find("shards")->asNumber(), 4);
+    for (const JsonValue *obj :
+         {doc.find("totals"), &doc.find("benches")->at(0)}) {
+        const JsonValue *shape = obj->find("queueShape");
+        ASSERT_NE(shape, nullptr);
+        EXPECT_GT(shape->find("peakLiveEvents")->asNumber(), 0);
+        EXPECT_GT(shape->find("poolChunks")->asNumber(), 0);
+        EXPECT_GT(shape->find("wheelInserts")->asNumber(), 0);
+        ASSERT_NE(shape->find("farInserts"), nullptr);
+    }
+}
+
+/**
+ * The `--shards N` artifact-parity contract at the bench level: the
+ * fig5 document produced by the sharded engine must be byte-identical
+ * to the serial one (same dump(), hence same file bytes).
+ */
+TEST(StashbenchParityTest, Fig5ArtifactIsByteIdenticalAcrossEngines)
+{
+    const BenchInfo *bench = findBench("fig5");
+    ASSERT_NE(bench, nullptr);
+
+    BenchContext serialCtx;
+    serialCtx.scale = workloads::Scale::Smoke;
+    serialCtx.shards = 1;
+    const JsonValue serialDoc = bench->run(serialCtx);
+
+    BenchContext shardedCtx;
+    shardedCtx.scale = workloads::Scale::Smoke;
+    shardedCtx.shards = 4;
+    const JsonValue shardedDoc = bench->run(shardedCtx);
+
+    EXPECT_TRUE(allRunsValidated(serialDoc));
+    EXPECT_TRUE(allRunsValidated(shardedDoc));
+    EXPECT_EQ(serialDoc.dump(), shardedDoc.dump());
+}
+
 TEST(StashbenchSchemaTest, AllRunsValidatedDetectsFailures)
 {
     JsonValue doc = JsonValue::object();

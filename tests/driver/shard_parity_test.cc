@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The sharded-engine determinism contract, enforced end to end: a run
+ * partitioned over 4 shard threads must produce results
+ * byte-identical to the serial engine — every counter of every
+ * component, not just the headline numbers.  This is the acceptance
+ * test for `stashbench --shards N` artifact parity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "driver/sweep.hh"
+
+namespace stashsim
+{
+namespace
+{
+
+std::vector<RunSpec>
+grid(unsigned shards)
+{
+    std::vector<RunSpec> specs;
+    for (const char *name : {"Implicit", "On-demand", "Reuse"}) {
+        for (MemOrg org :
+             {MemOrg::Scratch, MemOrg::Cache, MemOrg::Stash,
+              MemOrg::StashG}) {
+            RunSpec spec;
+            spec.workload = name;
+            spec.org = org;
+            spec.scale = workloads::Scale::Smoke;
+            spec.shards = shards;
+            specs.push_back(std::move(spec));
+        }
+    }
+    return specs;
+}
+
+/** Every counter of every run, serialized to one comparable string. */
+std::string
+serializeRecords(const std::vector<RunRecord> &records)
+{
+    std::ostringstream os;
+    for (const RunRecord &rec : records) {
+        os << rec.spec.label() << " validated=" << rec.result.validated
+           << " gpuCycles=" << rec.result.gpuCycles
+           << " energy=" << rec.result.energy.total() << "\n";
+        for (const auto &[key, value] : rec.result.stats.flatten())
+            os << "  " << key << "=" << value << "\n";
+    }
+    return os.str();
+}
+
+TEST(ShardParityTest, FourShardsMatchSerialByteForByte)
+{
+    const std::vector<RunRecord> serial =
+        SweepDriver({1, 1, nullptr}).run(grid(/*shards=*/1));
+    const std::vector<RunRecord> sharded =
+        SweepDriver({1, 1, nullptr}).run(grid(/*shards=*/4));
+
+    ASSERT_EQ(serial.size(), sharded.size());
+    for (const RunRecord &rec : serial)
+        ASSERT_TRUE(rec.result.validated) << rec.spec.label();
+    for (const RunRecord &rec : sharded)
+        ASSERT_TRUE(rec.result.validated) << rec.spec.label();
+    EXPECT_EQ(serializeRecords(serial), serializeRecords(sharded));
+}
+
+/** Parity must hold at the full shard count (one thread per tile). */
+TEST(ShardParityTest, OneShardPerTileMatchesSerialToo)
+{
+    std::vector<RunSpec> serialSpec(1), shardedSpec(1);
+    serialSpec[0].workload = shardedSpec[0].workload = "Reuse";
+    serialSpec[0].org = shardedSpec[0].org = MemOrg::Stash;
+    serialSpec[0].scale = shardedSpec[0].scale =
+        workloads::Scale::Smoke;
+    serialSpec[0].shards = 1;
+    shardedSpec[0].shards = 16; // clamped to numNodes() == 16
+
+    const std::vector<RunRecord> serial =
+        SweepDriver({1, 1, nullptr}).run(serialSpec);
+    const std::vector<RunRecord> sharded =
+        SweepDriver({1, 1, nullptr}).run(shardedSpec);
+    ASSERT_TRUE(serial[0].result.validated);
+    ASSERT_TRUE(sharded[0].result.validated);
+    EXPECT_EQ(serializeRecords(serial), serializeRecords(sharded));
+}
+
+/**
+ * The verify instruments must compose with the sharded engine: the
+ * protocol checker audits and the watchdog's barrier checks observe
+ * quantum boundaries, and neither perturbs the simulated outcome.
+ */
+TEST(ShardParityTest, VerifyInstrumentsPreserveParity)
+{
+    auto makeSpec = [](unsigned shards) {
+        RunSpec spec;
+        spec.workload = "On-demand";
+        spec.org = MemOrg::Stash;
+        spec.scale = workloads::Scale::Smoke;
+        spec.shards = shards;
+        SystemConfig cfg = SystemConfig::microbenchmarkDefault();
+        cfg.memOrg = spec.org;
+        cfg.verify.protocolChecker = true;
+        cfg.verify.watchdog = true;
+        spec.config = cfg;
+        return spec;
+    };
+
+    const std::vector<RunRecord> serial =
+        SweepDriver({1, 1, nullptr}).run({makeSpec(1)});
+    const std::vector<RunRecord> sharded =
+        SweepDriver({1, 1, nullptr}).run({makeSpec(4)});
+    ASSERT_TRUE(serial[0].result.validated)
+        << (serial[0].result.errors.empty()
+                ? "?"
+                : serial[0].result.errors[0]);
+    ASSERT_TRUE(sharded[0].result.validated)
+        << (sharded[0].result.errors.empty()
+                ? "?"
+                : sharded[0].result.errors[0]);
+    EXPECT_EQ(serializeRecords(serial), serializeRecords(sharded));
+}
+
+} // namespace
+} // namespace stashsim

@@ -182,5 +182,103 @@ TEST(RouterTest, ReservationsSerializeOnOneLink)
     EXPECT_EQ(r.reserve(Direction::East, 10, 5), 15u);
 }
 
+
+// ---------------------------------------------------------------
+// Router channel reservations (the contention primitive)
+// ---------------------------------------------------------------
+
+TEST(RouterTest, ReservationEndTickMath)
+{
+    Router r;
+    // Free channel: the reservation starts at `earliest` and the
+    // returned end tick is earliest + duration.
+    EXPECT_EQ(r.reserve(Direction::East, 100, 10), 110u);
+    EXPECT_EQ(r.busyUntil(Direction::East), 110u);
+    // An overlapping request queues behind the tail: it starts at
+    // busyUntil, not at its own earliest.
+    EXPECT_EQ(r.reserve(Direction::East, 105, 10), 120u);
+    EXPECT_EQ(r.busyUntil(Direction::East), 120u);
+    // A request after the channel frees pays no wait.
+    EXPECT_EQ(r.reserve(Direction::East, 300, 5), 305u);
+}
+
+TEST(RouterTest, BackToBackReservationsSerializeExactly)
+{
+    Router r;
+    // Five identical packets requested at the same tick occupy the
+    // channel back to back: k-th ends at earliest + (k+1) * duration.
+    for (unsigned k = 0; k < 5; ++k) {
+        EXPECT_EQ(r.reserve(Direction::Local, 50, 7),
+                  50u + (k + 1) * 7u);
+    }
+}
+
+TEST(RouterTest, DirectionsAreIndependentChannels)
+{
+    Router r;
+    r.reserve(Direction::East, 100, 50);
+    // The other output links of the same router are unaffected.
+    EXPECT_EQ(r.reserve(Direction::West, 100, 10), 110u);
+    EXPECT_EQ(r.reserve(Direction::North, 100, 10), 110u);
+    EXPECT_EQ(r.busyUntil(Direction::South), 0u);
+    r.reset();
+    EXPECT_EQ(r.busyUntil(Direction::East), 0u);
+}
+
+// ---------------------------------------------------------------
+// Deferred routing (the sharded engine's canonical flush path)
+// ---------------------------------------------------------------
+
+TEST(MeshTest, MinLatencyTicksIsOneHopWithoutContention)
+{
+    const MeshParams p = defaultParams();
+    // Per hop: routerCycles + linkCycles, in GPU-clock ticks.  This
+    // is the sharded engine's conservative lookahead: no message can
+    // arrive sooner than one hop after it was sent.
+    EXPECT_EQ(p.minLatencyTicks(),
+              Tick(p.routerCycles + p.linkCycles) * gpuClockPeriod);
+
+    EventQueue eq;
+    Mesh mesh(eq, p);
+    // The cheapest possible delivery (same node, 1 flit) still takes
+    // at least the lookahead.
+    const Tick arrival =
+        mesh.route(7, 7, 8, MsgClass::Read, /*send_tick=*/1000);
+    EXPECT_GE(arrival, 1000 + p.minLatencyTicks());
+}
+
+TEST(MeshTest, RouteMatchesSendTimingAndStats)
+{
+    // route() (used by the Fabric's canonical flush) must charge the
+    // same latency, reservations, and flit-hop stats as send().
+    EventQueue eqA;
+    Mesh meshA(eqA, defaultParams());
+    Tick sendArrival = 0;
+    meshA.send(0, 3, 17, MsgClass::Writeback,
+               [&]() { sendArrival = eqA.curTick(); });
+    eqA.run();
+
+    EventQueue eqB;
+    Mesh meshB(eqB, defaultParams());
+    const Tick routeArrival =
+        meshB.route(0, 3, 17, MsgClass::Writeback, 0);
+
+    EXPECT_EQ(routeArrival, sendArrival);
+    EXPECT_EQ(meshB.stats().flitHops[unsigned(MsgClass::Writeback)],
+              meshA.stats().flitHops[unsigned(MsgClass::Writeback)]);
+    EXPECT_EQ(meshB.stats().packets, meshA.stats().packets);
+}
+
+TEST(MeshTest, RouteSeesContentionAcrossCalls)
+{
+    EventQueue eq;
+    Mesh mesh(eq, defaultParams());
+    const Tick first = mesh.route(0, 1, 64, MsgClass::Read, 0);
+    const Tick second = mesh.route(0, 1, 64, MsgClass::Read, 0);
+    // Same link at the same tick: the second packet queues behind
+    // the first's channel reservation.
+    EXPECT_GT(second, first);
+}
+
 } // namespace
 } // namespace stashsim

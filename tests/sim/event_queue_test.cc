@@ -470,5 +470,102 @@ TEST(EventQueueTest, PropertyMonotonicExecution)
     EXPECT_TRUE(monotonic);
 }
 
+
+TEST(EventQueueTest, InternalEventsAreExcludedFromEventsExecuted)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&]() { order.push_back(1); });
+    // PriInternal runs after every model event of the tick...
+    eq.schedule(10, [&]() { order.push_back(2); },
+                EventQueue::PriInternal);
+    eq.schedule(10, [&]() { order.push_back(0); },
+                EventQueue::PriDelivery);
+    // run() reports all executions; eventsExecuted() only the model's.
+    EXPECT_EQ(eq.run(), 3u);
+    EXPECT_EQ(eq.eventsExecuted(), 2u);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueueTest, LastEventTickTracksExecutionNotTheBound)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.lastEventTick(), 0u);
+    eq.schedule(50, []() {});
+    eq.schedule(60, []() {}, EventQueue::PriInternal);
+    EXPECT_EQ(eq.run(200), 2u);
+    // The bound advances curTick; lastEventTick stays at the last
+    // *model* event.  Internal bookkeeping (fabric flushes, watchdog
+    // polls) executes but does not advance the model clock.
+    EXPECT_EQ(eq.curTick(), 200u);
+    EXPECT_EQ(eq.lastEventTick(), 50u);
+}
+
+TEST(EventQueueTest, SetTimeRealignsAnEmptyQueue)
+{
+    EventQueue eq;
+    eq.schedule(50, []() {});
+    eq.run(200);
+    EXPECT_EQ(eq.curTick(), 200u);
+
+    // Rewind to the last-event tick (the sharded engine's alignment),
+    // then forward; both directions keep scheduling functional.
+    eq.setTime(50);
+    EXPECT_EQ(eq.curTick(), 50u);
+    eq.setTime(75);
+    EXPECT_EQ(eq.curTick(), 75u);
+    bool ran = false;
+    eq.scheduleIn(10, [&]() { ran = true; });
+    EXPECT_EQ(eq.run(), 1u);
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(eq.curTick(), 85u);
+}
+
+/**
+ * Regression: a rewind must re-anchor the calendar wheel, not just
+ * curTick.  Executing a far-future event (a watchdog poll) carries
+ * wheelBase with it; if setTime() leaves that base in place, events
+ * scheduled after the rewind alias into wrong wheel positions and
+ * execute out of order.
+ */
+TEST(EventQueueTest, SetTimeReanchorsTheWheelAfterAFarPop)
+{
+    EventQueue eq;
+    eq.schedule(100, []() {});
+    eq.schedule(250000, []() {}, EventQueue::PriInternal); // the poll
+    eq.run();
+    EXPECT_EQ(eq.curTick(), 250000u);
+
+    eq.setTime(100); // the drain-end realignment
+    std::vector<Tick> order;
+    eq.schedule(150, [&]() { order.push_back(150); });
+    eq.schedule(200100, [&]() { order.push_back(200100); });
+    eq.schedule(130, [&]() { order.push_back(130); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<Tick>{130, 150, 200100}));
+    EXPECT_EQ(eq.curTick(), 200100u);
+}
+
+TEST(EventQueueTest, QueueShapeCountersTrackInsertsAndPeak)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.peakLiveEvents(), 0u);
+    EXPECT_EQ(eq.poolChunksAllocated(), 0u);
+
+    eq.schedule(1, []() {});
+    eq.schedule(2, []() {});
+    eq.schedule(10000, []() {}); // beyond the 4096-tick wheel horizon
+    EXPECT_EQ(eq.wheelInserts(), 2u);
+    EXPECT_EQ(eq.farInserts(), 1u);
+    EXPECT_EQ(eq.peakLiveEvents(), 3u);
+    EXPECT_EQ(eq.poolChunksAllocated(), 1u);
+
+    eq.run();
+    // High-water mark and insert counts are lifetime totals.
+    EXPECT_EQ(eq.peakLiveEvents(), 3u);
+    EXPECT_EQ(eq.wheelInserts(), 2u);
+    EXPECT_EQ(eq.farInserts(), 1u);
+}
+
 } // namespace
 } // namespace stashsim

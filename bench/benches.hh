@@ -96,6 +96,16 @@ struct BenchContext
     bool components = false;
     /** When set, sweepSpecs() reports every sweep's throughput here. */
     SimperfCollector *simperf = nullptr;
+    /** Per-run checkpoint cadence in ticks (0 = none). */
+    std::uint64_t checkpointEvery = 0;
+    /**
+     * Checkpoint/resume state root; sweepSpecs() keeps each bench's
+     * state in <stateDir>/<bench> so same-named specs of different
+     * benches never collide.
+     */
+    std::string stateDir;
+    /** Resume: reuse completed results, restart from checkpoints. */
+    bool resume = false;
 };
 
 /** One registered bench. */
@@ -112,6 +122,14 @@ struct BenchInfo
 
 /** Every bench, in EXPERIMENTS.md order. */
 const std::vector<BenchInfo> &benchList();
+
+/**
+ * Machine-readable bench inventory (stashbench --list --json):
+ *   schema   "stashsim-benchlist-v1"
+ *   benches  [{name, title, description, scales[]}]
+ * where scales is empty for scale-independent benches.
+ */
+report::JsonValue benchInventoryJson();
 
 /** Lookup by name; nullptr when unknown. */
 const BenchInfo *findBench(const std::string &name);

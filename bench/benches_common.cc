@@ -7,6 +7,7 @@
 #include "benches.hh"
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 
@@ -165,6 +166,40 @@ SimperfCollector::toJson(const char *scale, double wallSeconds) const
     return doc;
 }
 
+report::JsonValue
+benchInventoryJson()
+{
+    report::JsonValue doc = report::JsonValue::object();
+    doc["schema"] = "stashsim-benchlist-v1";
+    report::JsonValue arr = report::JsonValue::array();
+    for (const BenchInfo &b : benchList()) {
+        report::JsonValue e = report::JsonValue::object();
+        e["name"] = b.name;
+        e["title"] = b.title;
+        e["description"] = b.desc;
+        report::JsonValue scales = report::JsonValue::array();
+        // "-" marks a scale-independent bench: empty list.
+        if (std::string(b.scales) != "-") {
+            std::string word;
+            for (const char *p = b.scales;; ++p) {
+                if (*p == ' ' || *p == '\0') {
+                    if (!word.empty())
+                        scales.push(word);
+                    word.clear();
+                    if (*p == '\0')
+                        break;
+                } else {
+                    word += *p;
+                }
+            }
+        }
+        e["scales"] = std::move(scales);
+        arr.push(std::move(e));
+    }
+    doc["benches"] = std::move(arr);
+    return doc;
+}
+
 const BenchInfo *
 findBench(const std::string &name)
 {
@@ -304,6 +339,15 @@ sweepSpecs(const BenchContext &ctx, const char *bench,
     opts.threads = ctx.jobs;
     opts.shardsPerRun = ctx.shards;
     opts.progress = ctx.progress;
+    if (!ctx.stateDir.empty()) {
+        // Per-bench state subdirectory: different benches run
+        // same-labelled specs under different configurations, and the
+        // RESULT_/CKPT_ namespaces must not collide across them.
+        opts.stateDir = ctx.stateDir + "/" + bench;
+        std::filesystem::create_directories(opts.stateDir);
+        opts.checkpointEveryTicks = Tick(ctx.checkpointEvery);
+        opts.resume = ctx.resume;
+    }
     std::vector<RunRecord> records =
         SweepDriver(opts).run(std::move(specs));
     if (ctx.simperf)

@@ -11,8 +11,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <system_error>
 
 #include "benches.hh"
 #include "driver/bench_args.hh"
@@ -88,8 +90,14 @@ main(int argc, char **argv)
         std::fputs(BenchArgs::usage("stashbench").c_str(), stdout);
         return 0;
     }
-    if (args.list)
+    if (args.list) {
+        if (args.json) {
+            benchInventoryJson().write(std::cout);
+            std::cout << "\n";
+            return 0;
+        }
         return listBenches();
+    }
     if (args.listWorkloads)
         return listWorkloads();
     // --render-md alone renders from existing artifacts; with bench
@@ -125,6 +133,26 @@ main(int argc, char **argv)
     SimperfCollector simperf;
     simperf.shards = args.shards;
     ctx.simperf = &simperf;
+    // --restore names the state directory and turns resume on;
+    // --checkpoint-every alone drops state under the artifact dir so
+    // a later --restore can pick it up.
+    if (!args.restoreDir.empty()) {
+        ctx.stateDir = args.restoreDir;
+        ctx.resume = true;
+    } else if (args.checkpointEvery > 0) {
+        ctx.stateDir = args.outDir + "/checkpoints";
+    }
+    ctx.checkpointEvery = args.checkpointEvery;
+    if (!ctx.stateDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(ctx.stateDir, ec);
+        if (ec) {
+            std::fprintf(stderr,
+                         "stashbench: cannot create state dir %s\n",
+                         ctx.stateDir.c_str());
+            return 1;
+        }
+    }
 
     SweepOptions sizing;
     sizing.threads = args.jobs;

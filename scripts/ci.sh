@@ -49,6 +49,36 @@ for f in "${artifacts}"/BENCH_*.json; do
 done
 echo "serial and sharded artifacts are byte-identical"
 
+# Checkpoint/restore parity, end to end through the CLI: run two
+# quick benches dropping checkpoints at every eligible phase
+# boundary, then delete the cached RESULT_* artifacts so --restore is
+# forced to re-finish every run from a mid-run CKPT_* snapshot.  The
+# resumed artifacts must be byte-identical — once restoring under the
+# serial engine, once under --shards 4 from the same serially-taken
+# checkpoints.
+snapdir="${root}/build/bench-artifacts-snapshot"
+echo "=== checkpoint/restore parity (fig5 serial, ablation_replication --shards 4) ==="
+rm -rf "${snapdir}"
+mkdir -p "${snapdir}"
+"${root}/build/bench/stashbench" --quick --jobs "${jobs}" \
+    --checkpoint-every 1 --out "${snapdir}" \
+    fig5 ablation_replication
+for name in fig5 ablation_replication; do
+    mv "${snapdir}/BENCH_${name}.json" \
+       "${snapdir}/BENCH_${name}.ref.json"
+    rm "${snapdir}/checkpoints/${name}"/RESULT_*.snap
+done
+"${root}/build/bench/stashbench" --quick --jobs "${jobs}" \
+    --restore "${snapdir}/checkpoints" --out "${snapdir}" fig5
+"${root}/build/bench/stashbench" --quick --jobs "${jobs}" \
+    --shards 4 --restore "${snapdir}/checkpoints" \
+    --out "${snapdir}" ablation_replication
+for name in fig5 ablation_replication; do
+    cmp "${snapdir}/BENCH_${name}.ref.json" \
+        "${snapdir}/BENCH_${name}.json"
+done
+echo "checkpoint-restored artifacts are byte-identical"
+
 # Surface the host-throughput numbers (events/sec per bench and the
 # suite aggregate) directly in the CI log, so every run leaves a
 # measured perf trajectory next to the archived artifact.
@@ -72,4 +102,4 @@ git -C "${root}" diff --exit-code -- EXPERIMENTS.md || {
     exit 1
 }
 
-echo "=== CI passed (plain + ASan/UBSan + TSan + quick benches + parity) ==="
+echo "=== CI passed (plain + ASan/UBSan + TSan + quick benches + parity + checkpoint/restore) ==="

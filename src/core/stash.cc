@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "sim/log.hh"
+#include "snapshot/snapshot.hh"
 #include "verify/protocol_checker.hh"
 
 namespace stashsim
@@ -1058,6 +1059,100 @@ Stash::dumpState(std::ostream &os) const
             os << " reuse->" << unsigned(e.reuseIdx);
         os << "\n";
     }
+}
+
+void
+StashMap::snapshot(SnapshotWriter &w) const
+{
+    w.u32(std::uint32_t(entries.size()));
+    w.u8(tail);
+    for (const StashMapEntry &e : entries) {
+        w.b(e.valid);
+        w.b(e.pinned);
+        w.u32(e.stashBase);
+        w.u64(e.tile.globalBase);
+        w.u32(e.tile.fieldSize);
+        w.u32(e.tile.objectSize);
+        w.u32(e.tile.rowSize);
+        w.u32(e.tile.strideSize);
+        w.u32(e.tile.numStrides);
+        w.b(e.tile.isCoherent);
+        w.u32(e.dirtyData);
+        w.b(e.reuseBit);
+        w.u8(e.reuseIdx);
+    }
+}
+
+void
+StashMap::restore(SnapshotReader &r)
+{
+    r.require(r.u32() == entries.size(), "stash-map capacity mismatch");
+    tail = r.u8();
+    for (StashMapEntry &e : entries) {
+        e.valid = r.b();
+        e.pinned = r.b();
+        e.stashBase = r.u32();
+        e.tile.globalBase = r.u64();
+        e.tile.fieldSize = r.u32();
+        e.tile.objectSize = r.u32();
+        e.tile.rowSize = r.u32();
+        e.tile.strideSize = r.u32();
+        e.tile.numStrides = r.u32();
+        e.tile.isCoherent = r.b();
+        e.dirtyData = r.u32();
+        e.reuseBit = r.b();
+        e.reuseIdx = r.u8();
+    }
+}
+
+void
+Stash::snapshot(SnapshotWriter &w) const
+{
+    // Checkpoints happen only at drain points: no fill in flight, no
+    // deferred miss waiting for a slot.
+    sim_assert(pendingFills.empty());
+    sim_assert(deferred.empty());
+    writeStats(w, _stats);
+    w.u32(numWords());
+    for (std::uint32_t word : data)
+        w.u32(word);
+    for (WordState st : state)
+        w.u8(std::uint8_t(st));
+    w.u32(numChunks());
+    for (const Chunk &c : chunks) {
+        w.b(c.dirty);
+        w.b(c.writeback);
+        w.u8(c.mapIdx);
+        w.u8(c.allocIdx);
+    }
+    map.snapshot(w);
+    vpMap.snapshot(w);
+}
+
+void
+Stash::restore(SnapshotReader &r)
+{
+    sim_assert(pendingFills.empty());
+    sim_assert(deferred.empty());
+    readStats(r, _stats);
+    r.require(r.u32() == numWords(), "stash size mismatch");
+    for (std::uint32_t &word : data)
+        word = r.u32();
+    for (WordState &st : state) {
+        const std::uint8_t v = r.u8();
+        r.require(v <= std::uint8_t(WordState::Registered),
+                  "bad word state");
+        st = WordState(v);
+    }
+    r.require(r.u32() == numChunks(), "stash chunk count mismatch");
+    for (Chunk &c : chunks) {
+        c.dirty = r.b();
+        c.writeback = r.b();
+        c.mapIdx = r.u8();
+        c.allocIdx = r.u8();
+    }
+    map.restore(r);
+    vpMap.restore(r);
 }
 
 } // namespace stashsim

@@ -167,6 +167,16 @@ class Stash : public MemObject
     /** Writes map-table and VP-map occupancy (watchdog dumps). */
     void dumpState(std::ostream &os) const;
 
+    /**
+     * Serializes data/state/chunks + map table + VP-map + stats.
+     * Only valid at a drain point: no pending fills or deferred
+     * misses.
+     */
+    void snapshot(SnapshotWriter &w) const;
+
+    /** Restores a drain-point checkpoint into this (same-geometry) stash. */
+    void restore(SnapshotReader &r);
+
   private:
     struct Chunk
     {

@@ -29,6 +29,9 @@
 namespace stashsim
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Index into the stash-map. */
 using MapIndex = std::uint8_t;
 
@@ -96,6 +99,12 @@ class StashMap
         }
         return std::nullopt;
     }
+
+    /** Serializes entries + tail (implemented in core/stash.cc). */
+    void snapshot(SnapshotWriter &w) const;
+
+    /** Restores entries + tail from a checkpoint. */
+    void restore(SnapshotReader &r);
 
     /** Count of valid entries (for tests/telemetry). */
     unsigned

@@ -24,6 +24,9 @@
 namespace stashsim
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /**
  * TLB + RTLB pair backing one stash.
  */
@@ -85,6 +88,16 @@ class VpMap
     std::size_t size() const { return tlb.size(); }
     std::uint64_t accesses() const { return _accesses; }
     unsigned capacity() const { return _capacity; }
+
+    /** Serializes the TLB entries (sorted) + access counter. */
+    void snapshot(SnapshotWriter &w) const;
+
+    /**
+     * Restores the TLB and rebuilds the RTLB as its exact inverse
+     * (install/release maintain the two in lock-step, so the inverse
+     * is the complete RTLB state).
+     */
+    void restore(SnapshotReader &r);
 
   private:
     struct Entry

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "sim/log.hh"
+#include "snapshot/snapshot.hh"
 #include "verify/watchdog.hh"
 
 namespace stashsim
@@ -91,6 +92,20 @@ CpuCore::onComplete(std::size_t idx, const LineData &d)
     }
     if (outstanding == 0)
         done();
+}
+
+void
+CpuCore::snapshot(SnapshotWriter &w) const
+{
+    sim_assert(outstanding == 0);
+    writeStats(w, _stats);
+}
+
+void
+CpuCore::restore(SnapshotReader &r)
+{
+    sim_assert(outstanding == 0);
+    readStats(r, _stats);
 }
 
 } // namespace stashsim

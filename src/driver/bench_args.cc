@@ -69,6 +69,17 @@ BenchArgs::parse(int argc, char **argv, BenchArgs &out,
             out.renderMd = argv[++i];
         } else if (std::strcmp(a, "--components") == 0) {
             out.components = true;
+        } else if (std::strcmp(a, "--checkpoint-every") == 0) {
+            if (!needsValue(i, argc, a, err))
+                return false;
+            out.checkpointEvery =
+                std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(a, "--restore") == 0) {
+            if (!needsValue(i, argc, a, err))
+                return false;
+            out.restoreDir = argv[++i];
+        } else if (std::strcmp(a, "--json") == 0) {
+            out.json = true;
         } else if (std::strcmp(a, "--list") == 0) {
             out.list = true;
         } else if (std::strcmp(a, "--list-workloads") == 0) {
@@ -108,6 +119,19 @@ BenchArgs::usage(const char *prog)
            "into DIR\n"
            "  --components        include per-component counters in "
            "the JSON\n"
+           "  --checkpoint-every N\n"
+           "                      checkpoint each run every N "
+           "simulated ticks into\n"
+           "                      <out>/checkpoints (or --restore's "
+           "directory)\n"
+           "  --restore DIR       resume from the checkpoint/result "
+           "state in DIR:\n"
+           "                      completed runs are not re-simulated "
+           "and interrupted\n"
+           "                      ones restart from their latest "
+           "valid snapshot\n"
+           "  --json              with --list, emit the bench "
+           "inventory as JSON\n"
            "  --list              list benches and exit\n"
            "  --list-workloads    list registered workloads and "
            "exit\n"

@@ -11,6 +11,7 @@
 #ifndef STASHSIM_DRIVER_BENCH_ARGS_HH
 #define STASHSIM_DRIVER_BENCH_ARGS_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,12 @@ struct BenchArgs
     /** When nonempty, render EXPERIMENTS-style markdown here
      *  ("-" = stdout) from the JSON artifacts in outDir. */
     std::string renderMd;
+    /** Checkpoint cadence in simulated ticks (0 = no checkpoints). */
+    std::uint64_t checkpointEvery = 0;
+    /** Resume from the checkpoint/result state in this directory. */
+    std::string restoreDir;
+    /** --list emits machine-readable JSON instead of the table. */
+    bool json = false;
     bool help = false;
 
     bool quick() const { return scale == workloads::Scale::Quick; }
@@ -53,7 +60,9 @@ struct BenchArgs
      *   --out DIR
      *   --trace DIR
      *   --components
-     *   --list | --list-workloads
+     *   --checkpoint-every N
+     *   --restore DIR
+     *   --list [--json] | --list-workloads
      *   --render-md FILE
      *   --help | -h
      * plus positional bench names.

@@ -11,8 +11,8 @@ RunSpec::label() const
     return workload + "/" + memOrgName(org);
 }
 
-RunResult
-runSpec(const RunSpec &spec)
+SystemConfig
+resolveRunConfig(const RunSpec &spec)
 {
     using workloads::WorkloadFactory;
 
@@ -30,6 +30,26 @@ runSpec(const RunSpec &spec)
     cfg.memOrg = spec.org;
     if (spec.shards)
         cfg.shards = *spec.shards;
+    return cfg;
+}
+
+std::string
+artifactLabel(const std::string &label)
+{
+    std::string out = label;
+    for (char &c : out) {
+        if (c == '/' || c == ' ' || c == '@')
+            c = '_';
+    }
+    return out;
+}
+
+RunResult
+runSpec(const RunSpec &spec)
+{
+    using workloads::WorkloadFactory;
+
+    const SystemConfig cfg = resolveRunConfig(spec);
 
     workloads::WorkloadParams params;
     params.org = spec.org;
@@ -44,7 +64,15 @@ runSpec(const RunSpec &spec)
     System sys(cfg, spec.energy);
     if (spec.instrument)
         spec.instrument(sys);
-    RunResult r = sys.run(std::move(wl));
+    RunControl ctl;
+    ctl.checkpointEveryTicks = spec.checkpointEveryTicks;
+    ctl.checkpointDir = spec.checkpointDir;
+    // The scale rides in the label so a checkpoint from one input
+    // size can never restore a run at another.
+    ctl.checkpointLabel = artifactLabel(spec.label()) + "-" +
+                          workloads::scaleName(spec.scale);
+    ctl.restoreFrom = spec.restoreFrom;
+    RunResult r = sys.run(std::move(wl), ctl);
     if (spec.finish)
         spec.finish(sys, r);
     return r;

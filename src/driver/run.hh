@@ -67,6 +67,17 @@ struct RunSpec
     std::string labelOverride;
 
     /**
+     * Checkpoint cadence in ticks (RunControl::checkpointEveryTicks);
+     * 0 disables.  Checkpoints land in @ref checkpointDir as
+     * CKPT_<artifact-label>-<scale>@<tick>.snap.
+     */
+    Tick checkpointEveryTicks = 0;
+    /** Directory for checkpoint snapshots. */
+    std::string checkpointDir;
+    /** Snapshot file to resume from (empty = run from tick 0). */
+    std::string restoreFrom;
+
+    /**
      * Called right after System construction, before the run —
      * attach instrumentation (trace sinks, checkers) here.
      */
@@ -91,6 +102,20 @@ struct RunRecord
 
 /** Builds the system for @p spec and runs it to completion. */
 RunResult runSpec(const RunSpec &spec);
+
+/**
+ * The SystemConfig @p spec resolves to: the explicit config, the
+ * workload's default, or the microbenchmark machine — with the org
+ * and shard overrides applied.  Exported so the SweepDriver's resume
+ * path can hash the exact configuration a spec will run with.
+ */
+SystemConfig resolveRunConfig(const RunSpec &spec);
+
+/**
+ * File-name-safe form of a run label: '/', ' ', and '@' become '_'
+ * ('@' is the checkpoint file name's tick separator).
+ */
+std::string artifactLabel(const std::string &label);
 
 } // namespace stashsim
 

@@ -2,13 +2,168 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <exception>
+#include <filesystem>
 #include <mutex>
 #include <ostream>
 #include <thread>
+#include <utility>
+
+#include "snapshot/snapshot.hh"
 
 namespace stashsim
 {
+
+namespace
+{
+
+/**
+ * The identity a spec's on-disk state carries: the artifact-safe run
+ * label plus the input scale, so a quick-scale checkpoint can never
+ * resume a full-scale run of the same workload.
+ */
+std::string
+runStateLabel(const RunSpec &spec)
+{
+    return artifactLabel(spec.label()) + "-" +
+           workloads::scaleName(spec.scale);
+}
+
+/**
+ * Caches a completed run's RunResult to RESULT_<label>.snap so a
+ * resumed sweep returns it without re-simulating.  Host timings
+ * (perf.hostSeconds, per-phase breakdown) are deliberately dropped:
+ * only deterministic counters belong in resumable state.
+ */
+void
+saveResultCache(const std::string &path, const RunSpec &spec,
+                const SystemConfig &cfg, const RunResult &r)
+{
+    SnapshotWriter w;
+    w.configHash = snapshotConfigHash(cfg);
+    w.tick = 0;
+    w.phaseCursor = 0;
+    w.workload = runStateLabel(spec);
+    w.beginSection("result");
+    w.b(r.validated);
+    w.u64(r.gpuCycles);
+    w.u64(r.perf.events);
+    w.u64(r.perf.simTicks);
+    w.u64(r.perf.shape.peakLiveEvents);
+    w.u64(r.perf.shape.poolChunks);
+    w.u64(r.perf.shape.wheelInserts);
+    w.u64(r.perf.shape.farInserts);
+    w.u32(std::uint32_t(r.errors.size()));
+    for (const std::string &e : r.errors)
+        w.str(e);
+    writeSystemStats(w, r.stats);
+    w.endSection();
+    w.writeFile(path);
+}
+
+/**
+ * Loads a cached RunResult; false when the artifact is missing,
+ * corrupt, or belongs to a different configuration or run identity.
+ * The energy breakdown is recomputed from the restored stats rather
+ * than stored — it is a pure function of them.
+ */
+bool
+loadResultCache(const std::string &path, const RunSpec &spec,
+                const SystemConfig &cfg, RunResult &out)
+{
+    try {
+        SnapshotReader r = SnapshotReader::fromFile(path);
+        if (r.configHash() != snapshotConfigHash(cfg) ||
+            r.workload() != runStateLabel(spec)) {
+            return false;
+        }
+        r.verifyAllSections();
+        r.openSection("result");
+        out.validated = r.b();
+        out.gpuCycles = Cycles(r.u64());
+        out.perf = SimPerfSummary{};
+        out.perf.events = r.u64();
+        out.perf.simTicks = r.u64();
+        out.perf.shape.peakLiveEvents = r.u64();
+        out.perf.shape.poolChunks = r.u64();
+        out.perf.shape.wheelInserts = r.u64();
+        out.perf.shape.farInserts = r.u64();
+        out.errors.clear();
+        const std::uint32_t nerr = r.u32();
+        for (std::uint32_t e = 0; e < nerr; ++e)
+            out.errors.push_back(r.str());
+        readSystemStats(r, out.stats);
+        r.closeSection();
+        out.energy = EnergyModel(spec.energy).compute(out.stats);
+        return true;
+    } catch (const SnapshotError &) {
+        return false;
+    }
+}
+
+/**
+ * Latest usable CKPT_<label>@<tick>.snap for @p spec: candidates are
+ * tried newest-first, and one that fails structural verification or
+ * was taken under a different configuration is skipped with a
+ * structured warning — the scan falls back to the previous snapshot
+ * and ultimately to an empty result (run from tick 0).
+ */
+std::string
+latestCheckpoint(const std::string &state_dir, const RunSpec &spec,
+                 const SystemConfig &cfg, std::ostream *progress,
+                 std::mutex &progress_mutex)
+{
+    namespace fs = std::filesystem;
+    const std::string prefix = "CKPT_" + runStateLabel(spec) + "@";
+    const std::string suffix = ".snap";
+    std::vector<std::pair<std::uint64_t, std::string>> candidates;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(state_dir, ec)) {
+        const std::string name = de.path().filename().string();
+        if (name.rfind(prefix, 0) != 0 ||
+            name.size() <= prefix.size() + suffix.size() ||
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) != 0) {
+            continue;
+        }
+        const std::string tick_str =
+            name.substr(prefix.size(),
+                        name.size() - prefix.size() - suffix.size());
+        char *end = nullptr;
+        const std::uint64_t tick =
+            std::strtoull(tick_str.c_str(), &end, 10);
+        if (end == tick_str.c_str() || *end != '\0')
+            continue;
+        candidates.emplace_back(tick, de.path().string());
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              std::greater<>());
+
+    const std::uint64_t want = snapshotConfigHash(cfg);
+    for (const auto &[tick, path] : candidates) {
+        try {
+            SnapshotReader r = SnapshotReader::fromFile(path);
+            if (r.configHash() != want) {
+                throw SnapshotError("<header>",
+                                    "configuration hash mismatch");
+            }
+            r.verifyAllSections();
+            return path;
+        } catch (const SnapshotError &e) {
+            if (progress) {
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                *progress << "sweep: resume: snapshot '" << path
+                          << "' unusable (section " << e.section()
+                          << ": " << e.reason()
+                          << "); falling back" << std::endl;
+            }
+        }
+    }
+    return {};
+}
+
+} // namespace
 
 SweepDriver::SweepDriver(SweepOptions opts) : opts(opts) {}
 
@@ -46,6 +201,7 @@ SweepDriver::run(std::vector<RunSpec> specs) const
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
     std::mutex progressMutex;
+    const bool stateful = !opts.stateDir.empty();
 
     auto worker = [&]() {
         while (true) {
@@ -54,20 +210,65 @@ SweepDriver::run(std::vector<RunSpec> specs) const
             if (i >= n)
                 return;
             RunRecord &rec = records[i];
-            try {
-                rec.result = runSpec(rec.spec);
-            } catch (const std::exception &e) {
-                // fatal() throws; keep the sweep going and surface
-                // the failure through the record.
-                rec.result.validated = false;
-                rec.result.errors.push_back(e.what());
-            } catch (...) {
-                // Anything escaping a std::thread calls
-                // std::terminate and loses every completed record;
-                // absorb non-standard throws the same way.
-                rec.result.validated = false;
-                rec.result.errors.push_back(
-                    "unknown error (non-standard exception)");
+            std::string note;
+            SystemConfig cfg;
+            std::string resultPath;
+            if (stateful) {
+                cfg = resolveRunConfig(rec.spec);
+                resultPath = opts.stateDir + "/RESULT_" +
+                             runStateLabel(rec.spec) + ".snap";
+            }
+            bool cached =
+                stateful && opts.resume &&
+                loadResultCache(resultPath, rec.spec, cfg,
+                                rec.result);
+            if (cached) {
+                note = " (cached)";
+            } else {
+                RunSpec spec = rec.spec;
+                if (stateful) {
+                    spec.checkpointEveryTicks =
+                        opts.checkpointEveryTicks;
+                    spec.checkpointDir = opts.stateDir;
+                    if (opts.resume) {
+                        spec.restoreFrom = latestCheckpoint(
+                            opts.stateDir, rec.spec, cfg,
+                            opts.progress, progressMutex);
+                        if (!spec.restoreFrom.empty())
+                            note = " (resumed)";
+                    }
+                }
+                try {
+                    rec.result = runSpec(spec);
+                    if (stateful) {
+                        try {
+                            saveResultCache(resultPath, rec.spec,
+                                            cfg, rec.result);
+                        } catch (const SnapshotError &e) {
+                            if (opts.progress) {
+                                std::lock_guard<std::mutex> lock(
+                                    progressMutex);
+                                *opts.progress
+                                    << "sweep: cannot cache result '"
+                                    << resultPath << "' ("
+                                    << e.reason() << ")" << std::endl;
+                            }
+                        }
+                    }
+                } catch (const std::exception &e) {
+                    // fatal() throws; keep the sweep going and
+                    // surface the failure through the record.
+                    rec.result.validated = false;
+                    rec.result.errors.push_back(e.what());
+                } catch (...) {
+                    // Anything escaping a std::thread calls
+                    // std::terminate and loses every completed
+                    // record; absorb non-standard throws the same
+                    // way.
+                    rec.result.validated = false;
+                    rec.result.errors.push_back(
+                        "unknown error (non-standard exception)");
+                }
             }
             const std::size_t k =
                 done.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -78,7 +279,7 @@ SweepDriver::run(std::vector<RunSpec> specs) const
                     << rec.spec.label()
                     << (rec.result.validated ? " ok"
                                              : " FAILED validation")
-                    << std::endl;
+                    << note << std::endl;
             }
         }
     };

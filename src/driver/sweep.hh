@@ -40,6 +40,28 @@ struct SweepOptions
 
     /** Progress stream ("[k/n] label ... ok"); nullptr = silent. */
     std::ostream *progress = nullptr;
+
+    /**
+     * Checkpoint/resume state directory.  When nonempty, every
+     * completed run caches its RunResult to RESULT_<label>.snap
+     * there, and @ref checkpointEveryTicks makes the runs drop
+     * CKPT_<label>@<tick>.snap snapshots as they go (src/snapshot).
+     */
+    std::string stateDir;
+
+    /** Per-run checkpoint cadence in ticks (0 = none). */
+    Tick checkpointEveryTicks = 0;
+
+    /**
+     * Resume an interrupted sweep from @ref stateDir: specs with a
+     * valid RESULT_* artifact are not rerun (the cached result is
+     * returned), and the rest restart from their latest valid CKPT_*
+     * snapshot.  A truncated or corrupt snapshot is skipped with a
+     * warning on @ref progress, falling back to the previous one and
+     * ultimately to tick 0 — resume never fails a sweep, it only
+     * saves work.
+     */
+    bool resume = false;
 };
 
 /**

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <ios>
 #include <ostream>
+#include <string>
 #include <thread>
 
 #include "sim/log.hh"
+#include "snapshot/snapshot.hh"
 #include "verify/fault_injector.hh"
 #include "verify/protocol_checker.hh"
 #include "verify/watchdog.hh"
@@ -376,17 +379,54 @@ System::runCpuPhase(Phase &phase, std::vector<std::string> *errors)
 }
 
 RunResult
-System::run(Workload wl)
+System::run(Workload wl, const RunControl &ctl)
 {
+    const bool checkpointing = ctl.checkpointEveryTicks > 0;
+    const bool restoring = !ctl.restoreFrom.empty();
+    if ((checkpointing || restoring) && cfg.verify.faultInjection) {
+        fatal("checkpoint/restore is incompatible with fault "
+              "injection: the injector's RNG stream is not "
+              "serializable, so a restored run could not replay the "
+              "same perturbations");
+    }
+
     RunResult r;
     perf.runBegin();
 
     FunctionalMem fm = functionalMem();
-    if (wl.init)
-        wl.init(fm);
-
     SystemStats baseline;
-    for (std::size_t p = 0; p < wl.phases.size(); ++p) {
+    bool baselineCaptured = false;
+    std::size_t firstPhase = 0;
+    Tick lastCkpt = 0;
+
+    if (restoring) {
+        SnapshotReader sr = SnapshotReader::fromFile(ctl.restoreFrom);
+        if (sr.workload() != wl.name) {
+            fatal("snapshot '", ctl.restoreFrom, "' was taken from "
+                  "workload '", sr.workload(), "', not '", wl.name,
+                  "'");
+        }
+        restoreSnapshot(sr);
+        sr.openSection("run");
+        firstPhase = sr.u32();
+        sr.require(firstPhase == sr.phaseCursor(),
+                   "phase cursor disagrees with manifest");
+        baselineCaptured = sr.b();
+        readSystemStats(sr, baseline);
+        sr.closeSection();
+        lastCkpt = sr.tick();
+        // The restored event/tick counters cover the pre-checkpoint
+        // execution too; re-anchor SimPerf so perf.{events,simTicks}
+        // describe the whole logical run, exactly as an uninterrupted
+        // run would report them.
+        perf.rebase(0, 0);
+    } else if (wl.init) {
+        // wl.init built the memory image the checkpoint already
+        // carries, so a restored run must not repeat it.
+        wl.init(fm);
+    }
+
+    for (std::size_t p = firstPhase; p < wl.phases.size(); ++p) {
         Phase &phase = wl.phases[p];
         switch (phase.kind) {
           case Phase::Kind::Gpu:
@@ -396,8 +436,16 @@ System::run(Workload wl)
             runCpuPhase(phase, &r.errors);
             break;
         }
-        if (p + 1 == wl.warmupPhases)
+        if (p + 1 == wl.warmupPhases) {
             baseline = statsSnapshot();
+            baselineCaptured = true;
+        }
+        if (checkpointing && p + 1 < wl.phases.size() &&
+            engine->now() >= lastCkpt + ctl.checkpointEveryTicks) {
+            writeCheckpoint(ctl, wl.name, std::uint32_t(p + 1),
+                            baselineCaptured, baseline);
+            lastCkpt = engine->now();
+        }
     }
 
     // Snapshot the statistics before the validation flush: the flush
@@ -531,6 +579,240 @@ System::dumpDiagnostics(std::ostream &os) const
         if (g.stash)
             g.stash->dumpState(os);
     }
+}
+
+void
+System::saveSnapshot(SnapshotWriter &w) const
+{
+    // Engine clock: one aggregate section regardless of sharding, so
+    // a serially-taken checkpoint restores into a sharded System (and
+    // vice versa).  Per-tile wheel/far/peak split is observability
+    // only and legitimately differs across modes.
+    {
+        w.beginSection("engine");
+        EventQueue::ClockState s = engine->queue(0).clockState();
+        s.curTick = engine->now();
+        for (unsigned t = 1; t < engine->numTiles(); ++t) {
+            const auto q = engine->queue(t).clockState();
+            s.lastEventTick = std::max(s.lastEventTick,
+                                       q.lastEventTick);
+            s.executed += q.executed;
+            s.peakLive = std::max(s.peakLive, q.peakLive);
+            s.wheelInserts += q.wheelInserts;
+            s.farInserts += q.farInserts;
+        }
+        w.u64(s.curTick);
+        w.u64(s.lastEventTick);
+        w.u64(s.nextSeq);
+        w.u64(s.executed);
+        w.u64(s.peakLive);
+        w.u64(s.wheelInserts);
+        w.u64(s.farInserts);
+        w.endSection();
+    }
+
+    w.beginSection("mem");
+    mem.snapshot(w);
+    w.endSection();
+    w.beginSection("pagetable");
+    pageTable.snapshot(w);
+    w.endSection();
+    w.beginSection("noc");
+    mesh.snapshot(w);
+    w.endSection();
+    w.beginSection("fabric");
+    fabric.snapshot(w);
+    w.endSection();
+
+    for (std::size_t i = 0; i < llcBanks.size(); ++i) {
+        w.beginSection("llc" + std::to_string(i));
+        llcBanks[i]->snapshot(w);
+        w.endSection();
+    }
+
+    for (std::size_t i = 0; i < gpus.size(); ++i) {
+        const std::string p = "cu" + std::to_string(i);
+        const GpuNode &g = gpus[i];
+        w.beginSection(p + ".tlb");
+        g.tlb->snapshot(w);
+        w.endSection();
+        w.beginSection(p + ".l1");
+        g.l1->snapshot(w);
+        w.endSection();
+        if (g.spad) {
+            w.beginSection(p + ".scratch");
+            g.spad->snapshot(w);
+            w.endSection();
+        }
+        if (g.stash) {
+            w.beginSection(p + ".stash");
+            g.stash->snapshot(w);
+            w.endSection();
+        }
+        if (g.dma) {
+            w.beginSection(p + ".dma");
+            g.dma->snapshot(w);
+            w.endSection();
+        }
+        w.beginSection(p + ".core");
+        g.cu->snapshot(w);
+        w.endSection();
+    }
+
+    for (std::size_t i = 0; i < cpus.size(); ++i) {
+        const std::string p = "cpu" + std::to_string(i);
+        const CpuNode &c = cpus[i];
+        w.beginSection(p + ".tlb");
+        c.tlb->snapshot(w);
+        w.endSection();
+        w.beginSection(p + ".l1");
+        c.l1->snapshot(w);
+        w.endSection();
+        w.beginSection(p + ".core");
+        c.core->snapshot(w);
+        w.endSection();
+    }
+
+    if (_checker) {
+        w.beginSection("checker");
+        _checker->snapshot(w);
+        w.endSection();
+    }
+}
+
+void
+System::restoreSnapshot(SnapshotReader &r)
+{
+    const std::uint64_t want = snapshotConfigHash(cfg);
+    if (r.configHash() != want) {
+        fatal("snapshot configuration hash mismatch: snapshot was "
+              "taken with config hash 0x",
+              std::hex, r.configHash(), " but this system's is 0x",
+              want, std::dec,
+              "; restore requires the identical configuration "
+              "(shard count excepted)");
+    }
+
+    {
+        r.openSection("engine");
+        EventQueue::ClockState s;
+        s.curTick = r.u64();
+        s.lastEventTick = r.u64();
+        s.nextSeq = r.u64();
+        s.executed = r.u64();
+        s.peakLive = r.u64();
+        s.wheelInserts = r.u64();
+        s.farInserts = r.u64();
+        r.closeSection();
+        // Every tile's clock moves to the checkpoint tick (setTime
+        // re-anchors each calendar wheel there); the phase-hub queue
+        // additionally carries the aggregate counters and the event
+        // sequence number.
+        for (unsigned t = 1; t < engine->numTiles(); ++t)
+            engine->queue(t).setTime(s.curTick);
+        engine->queue(0).restoreClock(s);
+    }
+
+    r.openSection("mem");
+    mem.restore(r);
+    r.closeSection();
+    r.openSection("pagetable");
+    pageTable.restore(r);
+    r.closeSection();
+    r.openSection("noc");
+    mesh.restore(r);
+    r.closeSection();
+    r.openSection("fabric");
+    fabric.restore(r);
+    r.closeSection();
+
+    for (std::size_t i = 0; i < llcBanks.size(); ++i) {
+        r.openSection("llc" + std::to_string(i));
+        llcBanks[i]->restore(r);
+        r.closeSection();
+    }
+
+    for (std::size_t i = 0; i < gpus.size(); ++i) {
+        const std::string p = "cu" + std::to_string(i);
+        GpuNode &g = gpus[i];
+        r.openSection(p + ".tlb");
+        g.tlb->restore(r);
+        r.closeSection();
+        r.openSection(p + ".l1");
+        g.l1->restore(r);
+        r.closeSection();
+        if (g.spad) {
+            r.openSection(p + ".scratch");
+            g.spad->restore(r);
+            r.closeSection();
+        }
+        if (g.stash) {
+            r.openSection(p + ".stash");
+            g.stash->restore(r);
+            r.closeSection();
+        }
+        if (g.dma) {
+            r.openSection(p + ".dma");
+            g.dma->restore(r);
+            r.closeSection();
+        }
+        r.openSection(p + ".core");
+        g.cu->restore(r);
+        r.closeSection();
+    }
+
+    for (std::size_t i = 0; i < cpus.size(); ++i) {
+        const std::string p = "cpu" + std::to_string(i);
+        CpuNode &c = cpus[i];
+        r.openSection(p + ".tlb");
+        c.tlb->restore(r);
+        r.closeSection();
+        r.openSection(p + ".l1");
+        c.l1->restore(r);
+        r.closeSection();
+        r.openSection(p + ".core");
+        c.core->restore(r);
+        r.closeSection();
+    }
+
+    // The checker section is optional by design (cfg.verify is not
+    // part of the config hash): a checkpoint taken without the
+    // checker restores into a checked system with an empty golden
+    // image, which merely means pre-checkpoint stores go unaudited.
+    if (_checker && r.hasSection("checker")) {
+        r.openSection("checker");
+        _checker->restore(r);
+        r.closeSection();
+    }
+}
+
+void
+System::writeCheckpoint(const RunControl &ctl,
+                        const std::string &wl_name,
+                        std::uint32_t next_phase,
+                        bool baseline_captured,
+                        const SystemStats &baseline) const
+{
+    SnapshotWriter w;
+    w.configHash = snapshotConfigHash(cfg);
+    w.tick = engine->now();
+    w.phaseCursor = next_phase;
+    w.workload = wl_name;
+    saveSnapshot(w);
+    w.beginSection("run");
+    w.u32(next_phase);
+    w.b(baseline_captured);
+    writeSystemStats(w, baseline);
+    w.endSection();
+
+    const std::string label =
+        ctl.checkpointLabel.empty() ? wl_name : ctl.checkpointLabel;
+    std::string path = ctl.checkpointDir;
+    if (!path.empty() && path.back() != '/')
+        path += '/';
+    path += "CKPT_" + label + "@" + std::to_string(engine->now()) +
+            ".snap";
+    w.writeFile(path);
 }
 
 } // namespace stashsim

@@ -59,6 +59,29 @@ class FaultInjector;
 class ProtocolChecker;
 class Watchdog;
 
+/**
+ * Checkpoint/restore policy for one run (src/snapshot).  Checkpoints
+ * are taken only at phase-end drain points, where every event queue
+ * is empty and all in-flight memory activity has resolved — the only
+ * moments the component state is serializable without also capturing
+ * live event callbacks.
+ */
+struct RunControl
+{
+    /**
+     * Write a checkpoint at the first phase boundary at least this
+     * many ticks after the previous one (0 disables checkpointing).
+     * The final phase never checkpoints: the run is about to finish.
+     */
+    Tick checkpointEveryTicks = 0;
+    /** Directory for CKPT_<label>@<tick>.snap files. */
+    std::string checkpointDir;
+    /** File-name label identifying the run (defaults to workload). */
+    std::string checkpointLabel;
+    /** Path of a snapshot to resume from (empty: run from tick 0). */
+    std::string restoreFrom;
+};
+
 /** Everything a bench or test needs from one simulated run. */
 struct RunResult
 {
@@ -88,8 +111,28 @@ class System
     System(const System &) = delete;
     System &operator=(const System &) = delete;
 
-    /** Runs @p wl start to finish and reports the results. */
-    RunResult run(Workload wl);
+    /**
+     * Runs @p wl and reports the results.  @p ctl may ask for
+     * periodic checkpoints and/or for the run to resume from a
+     * snapshot (taken from the same configuration and workload; the
+     * restored run then produces byte-identical artifacts to an
+     * uninterrupted one).
+     */
+    RunResult run(Workload wl, const RunControl &ctl = {});
+
+    /**
+     * Serializes every stateful component into @p w, one section per
+     * component.  Only valid at a drain point (between phases): all
+     * event queues empty, no in-flight coherence activity.
+     */
+    void saveSnapshot(SnapshotWriter &w) const;
+
+    /**
+     * Restores every component section into this freshly-constructed
+     * System.  fatal()s when the snapshot's configuration hash does
+     * not match this system's configuration.
+     */
+    void restoreSnapshot(SnapshotReader &r);
 
     /** Aggregated statistics so far (tests may call mid-run). */
     SystemStats statsSnapshot() const;
@@ -160,6 +203,13 @@ class System
     void runGpuPhase(Phase &phase);
     void runCpuPhase(Phase &phase, std::vector<std::string> *errors);
     void drain(const char *what = "drain");
+
+    /** Writes one CKPT_<label>@<tick>.snap at the current drain point. */
+    void writeCheckpoint(const RunControl &ctl,
+                         const std::string &wl_name,
+                         std::uint32_t next_phase,
+                         bool baseline_captured,
+                         const SystemStats &baseline) const;
 
     SimPerf::Sources perfSources();
     void registerComponentStats();

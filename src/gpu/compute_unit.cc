@@ -4,6 +4,7 @@
 #include <map>
 
 #include "sim/log.hh"
+#include "snapshot/snapshot.hh"
 #include "verify/watchdog.hh"
 
 namespace stashsim
@@ -622,6 +623,39 @@ ComputeUnit::execMemStash(WarpCtx &warp, const WarpOp &op)
                           if (--warp.pendingMem == 0)
                               unblock(warp);
                       });
+    }
+}
+
+void
+ComputeUnit::snapshot(SnapshotWriter &w) const
+{
+    // Checkpoints happen only between kernels.
+    sim_assert(!kernelActive);
+    sim_assert(blocks.empty());
+    sim_assert(warps.empty());
+    writeStats(w, _stats);
+    w.u32(allocPtr);
+    w.u32(std::uint32_t(freeLocalSpace.size()));
+    for (const auto &[base, bytes] : freeLocalSpace) {
+        w.u32(base);
+        w.u32(bytes);
+    }
+}
+
+void
+ComputeUnit::restore(SnapshotReader &r)
+{
+    sim_assert(!kernelActive);
+    sim_assert(blocks.empty());
+    sim_assert(warps.empty());
+    readStats(r, _stats);
+    allocPtr = r.u32();
+    freeLocalSpace.clear();
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const LocalAddr base = r.u32();
+        const std::uint32_t bytes = r.u32();
+        freeLocalSpace.emplace_back(base, bytes);
     }
 }
 

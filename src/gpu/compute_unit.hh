@@ -37,6 +37,9 @@ namespace stashsim
 
 class Watchdog;
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /**
  * One GPU compute unit.
  */
@@ -61,6 +64,16 @@ class ComputeUnit
 
     /** Reports instruction issue as forward progress to @p w. */
     void setWatchdog(Watchdog *w) { watchdog = w; }
+
+    /**
+     * Serializes stats + the local-space allocator (free list and
+     * bump pointer persist across kernels).  Only valid between
+     * kernels: no resident blocks or warps.
+     */
+    void snapshot(SnapshotWriter &w) const;
+
+    /** Restores an inter-kernel checkpoint. */
+    void restore(SnapshotReader &r);
 
   private:
     struct TbCtx;

@@ -41,6 +41,8 @@ namespace stashsim
 {
 
 class ProtocolChecker;
+class SnapshotWriter;
+class SnapshotReader;
 
 /**
  * One private L1 cache.
@@ -102,6 +104,15 @@ class L1Cache : public MemObject
     void forEachWord(
         const std::function<void(PhysAddr, WordState, std::uint32_t)>
             &fn) const;
+
+    /**
+     * Serializes tags/state/data/LRU + stats.  Only valid at a drain
+     * point: no MSHRs, no deferred accesses, no pinned lines.
+     */
+    void snapshot(SnapshotWriter &w) const;
+
+    /** Restores a drain-point checkpoint into this (same-geometry) cache. */
+    void restore(SnapshotReader &r);
 
   private:
     struct Line

@@ -1,6 +1,7 @@
 #include "mem/dma_engine.hh"
 
 #include "sim/log.hh"
+#include "snapshot/snapshot.hh"
 #include "verify/protocol_checker.hh"
 #include "verify/watchdog.hh"
 
@@ -168,6 +169,23 @@ DmaEngine::receive(const Msg &msg)
     sim_assert(x->pendingLines > 0);
     if (--x->pendingLines == 0)
         x->done();
+}
+
+void
+DmaEngine::snapshot(SnapshotWriter &w) const
+{
+    // Checkpoints happen only at drain points: every burst finished.
+    sim_assert(pending.empty());
+    sim_assert(queued.empty() && queuedHead == 0);
+    writeStats(w, _stats);
+}
+
+void
+DmaEngine::restore(SnapshotReader &r)
+{
+    sim_assert(pending.empty());
+    sim_assert(queued.empty() && queuedHead == 0);
+    readStats(r, _stats);
 }
 
 } // namespace stashsim

@@ -40,6 +40,8 @@ namespace stashsim
 {
 
 class ProtocolChecker;
+class SnapshotReader;
+class SnapshotWriter;
 class Watchdog;
 
 /**
@@ -77,6 +79,15 @@ class DmaEngine : public MemObject
 
     /** Reports per-line completions as forward progress to @p w. */
     void setWatchdog(Watchdog *w) { watchdog = w; }
+
+    /**
+     * Serializes stats (the only state that outlives a drain point:
+     * no pending lines, no queued requests).
+     */
+    void snapshot(SnapshotWriter &w) const;
+
+    /** Restores a drain-point checkpoint. */
+    void restore(SnapshotReader &r);
 
   private:
     struct Transfer

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "sim/log.hh"
+#include "snapshot/snapshot.hh"
 #include "verify/fault_injector.hh"
 
 namespace stashsim
@@ -162,6 +163,39 @@ Fabric::dumpState(std::ostream &os) const
         os << "  " << msgTypeName(MsgType(t)) << ": "
            << sent - delivered << " in flight (" << sent << " sent, "
            << delivered << " delivered)\n";
+    }
+}
+
+bool
+Fabric::stagedEmpty() const
+{
+    for (const auto &box : staged)
+        if (!box.empty())
+            return false;
+    return true;
+}
+
+void
+Fabric::snapshot(SnapshotWriter &w) const
+{
+    // Checkpoints happen only at drain points, where every staged
+    // mailbox has been flushed and delivered.
+    sim_assert(stagedEmpty());
+    w.u32(numMsgTypes);
+    for (unsigned t = 0; t < numMsgTypes; ++t) {
+        w.u64(_sent[t].load(std::memory_order_relaxed));
+        w.u64(_delivered[t].load(std::memory_order_relaxed));
+    }
+}
+
+void
+Fabric::restore(SnapshotReader &r)
+{
+    sim_assert(stagedEmpty());
+    r.require(r.u32() == numMsgTypes, "message-type count mismatch");
+    for (unsigned t = 0; t < numMsgTypes; ++t) {
+        _sent[t].store(r.u64(), std::memory_order_relaxed);
+        _delivered[t].store(r.u64(), std::memory_order_relaxed);
     }
 }
 

@@ -130,6 +130,21 @@ class Fabric
     /** Writes the per-type in-flight table (watchdog diagnostics). */
     void dumpState(std::ostream &os) const;
 
+    /** True when no staged message awaits a flush (drain invariant). */
+    bool stagedEmpty() const;
+
+    /**
+     * Serializes the sent/delivered counters.  Structural state
+     * (object registrations, bound queues) is rebuilt by constructing
+     * the System; staged mailboxes are empty at every drain point and
+     * the serial-mode flush arm always resolves within the staging
+     * tick, so neither needs serializing.
+     */
+    void snapshot(SnapshotWriter &w) const;
+
+    /** Restores the counters from a checkpoint. */
+    void restore(SnapshotReader &r);
+
   private:
     /** One staged (sent, not yet routed) message. */
     struct Staged

@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "sim/log.hh"
+#include "snapshot/snapshot.hh"
 
 namespace stashsim
 {
@@ -452,6 +453,69 @@ LlcBank::ownerOf(PhysAddr pa)
         return invalidCore;
     const WordEntry &we = line->words[lineWord(pa)];
     return we.state == WordState::Registered ? we.owner : invalidCore;
+}
+
+void
+LlcBank::snapshot(SnapshotWriter &w) const
+{
+    w.u32(sets);
+    w.u32(params.assoc);
+    w.u64(useClock);
+    writeStats(w, _stats);
+    std::uint32_t allocated = 0;
+    for (const Line &line : lines)
+        allocated += line.allocated ? 1 : 0;
+    w.u32(allocated);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const Line &line = lines[i];
+        if (!line.allocated)
+            continue;
+        // Drain points have no fill in flight and no parked requests.
+        sim_assert(!line.fillPending);
+        sim_assert(line.waiting.empty());
+        w.u32(std::uint32_t(i));
+        w.u64(line.pa);
+        w.b(line.dirty);
+        w.u64(line.lastUse);
+        for (const WordEntry &we : line.words) {
+            w.u8(std::uint8_t(we.state));
+            w.u32(we.data);
+            w.u32(we.owner);
+            w.b(we.ownerIsStash);
+            w.u8(we.mapIdx);
+        }
+    }
+}
+
+void
+LlcBank::restore(SnapshotReader &r)
+{
+    r.require(r.u32() == sets, "LLC set count mismatch");
+    r.require(r.u32() == params.assoc, "LLC associativity mismatch");
+    useClock = r.u64();
+    readStats(r, _stats);
+    lines.assign(lines.size(), Line{});
+    const std::uint32_t allocated = r.u32();
+    for (std::uint32_t k = 0; k < allocated; ++k) {
+        const std::uint32_t i = r.u32();
+        r.require(i < lines.size(), "LLC line index out of range");
+        Line &line = lines[i];
+        r.require(!line.allocated, "duplicate LLC line index");
+        line.allocated = true;
+        line.pa = r.u64();
+        line.dirty = r.b();
+        line.lastUse = r.u64();
+        for (WordEntry &we : line.words) {
+            const std::uint8_t st = r.u8();
+            r.require(st <= std::uint8_t(WordState::Registered),
+                      "bad word state");
+            we.state = WordState(st);
+            we.data = r.u32();
+            we.owner = r.u32();
+            we.ownerIsStash = r.b();
+            we.mapIdx = r.u8();
+        }
+    }
 }
 
 } // namespace stashsim

@@ -34,6 +34,9 @@
 namespace stashsim
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /**
  * A single LLC bank with DeNovo registry semantics.
  */
@@ -78,6 +81,15 @@ class LlcBank : public MemObject
 
     /** Lines whose DRAM fill has not resolved yet. */
     std::size_t pendingFillLines() const;
+
+    /**
+     * Serializes tags/registry/data/LRU + stats.  Only valid at a
+     * drain point: no pending fills, no parked requests.
+     */
+    void snapshot(SnapshotWriter &w) const;
+
+    /** Restores a drain-point checkpoint into this (same-geometry) bank. */
+    void restore(SnapshotReader &r);
 
   private:
     /** Per-word registry entry. */

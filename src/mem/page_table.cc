@@ -1,8 +1,12 @@
 #include "mem/page_table.hh"
 
+#include <algorithm>
 #include <ios>
+#include <utility>
+#include <vector>
 
 #include "sim/log.hh"
+#include "snapshot/snapshot.hh"
 
 namespace stashsim
 {
@@ -76,6 +80,34 @@ PageTable::reverse(PhysAddr pa, Addr *va) const
         return false;
     *va = it->second + (pa - ppage);
     return true;
+}
+
+void
+PageTable::snapshot(SnapshotWriter &w) const
+{
+    std::lock_guard<std::mutex> g(mu);
+    std::vector<std::pair<Addr, PhysAddr>> pairs(vToP.begin(), vToP.end());
+    std::sort(pairs.begin(), pairs.end());
+    w.u64(pairs.size());
+    for (const auto &[v, p] : pairs) {
+        w.u64(v);
+        w.u64(p);
+    }
+}
+
+void
+PageTable::restore(SnapshotReader &r)
+{
+    std::lock_guard<std::mutex> g(mu);
+    vToP.clear();
+    pToV.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const Addr v = r.u64();
+        const PhysAddr p = r.u64();
+        vToP.emplace(v, p);
+        pToV.emplace(p, v);
+    }
 }
 
 } // namespace stashsim

@@ -25,6 +25,9 @@
 namespace stashsim
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /**
  * Virtual-to-physical page mapping with order-independent,
  * hash-assigned physical pages.  Thread-safe: shards translate
@@ -58,6 +61,12 @@ class PageTable
         std::lock_guard<std::mutex> g(mu);
         return vToP.size();
     }
+
+    /** Serializes the mapping, sorted by virtual page. */
+    void snapshot(SnapshotWriter &w) const;
+
+    /** Replaces the mapping (both directions) from a checkpoint. */
+    void restore(SnapshotReader &r);
 
   private:
     std::unordered_map<Addr, PhysAddr> vToP; //!< page -> page base

@@ -1,0 +1,27 @@
+#include "mem/scratchpad.hh"
+
+#include "snapshot/snapshot.hh"
+
+namespace stashsim
+{
+
+void
+Scratchpad::snapshot(SnapshotWriter &w) const
+{
+    writeStats(w, _stats);
+    w.u32(std::uint32_t(data.size()));
+    for (std::uint32_t word : data)
+        w.u32(word);
+}
+
+void
+Scratchpad::restore(SnapshotReader &r)
+{
+    readStats(r, _stats);
+    const std::uint32_t n = r.u32();
+    r.require(n == data.size(), "scratchpad size mismatch");
+    for (std::uint32_t i = 0; i < n; ++i)
+        data[i] = r.u32();
+}
+
+} // namespace stashsim

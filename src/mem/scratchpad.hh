@@ -24,6 +24,9 @@
 namespace stashsim
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /**
  * Per-CU scratchpad storage.
  */
@@ -31,6 +34,12 @@ class Scratchpad
 {
   public:
     explicit Scratchpad(unsigned bytes) : data(bytes / wordBytes, 0) {}
+
+    /** Serializes contents + stats (src/mem/scratchpad.cc). */
+    void snapshot(SnapshotWriter &w) const;
+
+    /** Restores contents + stats from a checkpoint. */
+    void restore(SnapshotReader &r);
 
     unsigned sizeBytes() const
     {

@@ -23,6 +23,9 @@
 namespace stashsim
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /**
  * An LRU TLB backed by the shared page table.
  */
@@ -38,6 +41,17 @@ class Tlb
     std::uint64_t accesses() const { return _accesses; }
     std::uint64_t misses() const { return _misses; }
     std::size_t size() const { return lru.size(); }
+
+    /** Serializes counters + entries in MRU-first order. */
+    void snapshot(SnapshotWriter &w) const;
+
+    /**
+     * Restores counters and replacement state.  The one-entry MRU
+     * fast path resets to "no last page": it is a host-side shortcut
+     * whose hit and miss paths count identically, so warming it lazily
+     * cannot perturb any modelled counter.
+     */
+    void restore(SnapshotReader &r);
 
   private:
     void touch(Addr vpage, PhysAddr ppage);

@@ -29,6 +29,9 @@
 namespace stashsim
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Mesh timing parameters, in uncore (GPU-domain) cycles. */
 struct MeshParams
 {
@@ -107,6 +110,12 @@ class Mesh
     /** Per-test access to routers. */
     Router &router(NodeId n) { return routers.at(n); }
     const Router &router(NodeId n) const { return routers.at(n); }
+
+    /** Serializes traffic counters + per-router channel reservations. */
+    void snapshot(SnapshotWriter &w) const;
+
+    /** Restores counters and reservations from a checkpoint. */
+    void restore(SnapshotReader &r);
 
   private:
     unsigned nodeX(NodeId n) const { return n % params.width; }

@@ -241,6 +241,38 @@ EventQueue::setTime(Tick t)
     wheelBase = t;
 }
 
+EventQueue::ClockState
+EventQueue::clockState() const
+{
+    ClockState s;
+    s.curTick = _curTick;
+    s.lastEventTick = _lastEventTick;
+    s.nextSeq = nextSeq;
+    s.executed = _executed;
+    s.peakLive = _peakLive;
+    s.wheelInserts = _wheelInserts;
+    s.farInserts = _farInserts;
+    return s;
+}
+
+void
+EventQueue::restoreClock(const ClockState &s)
+{
+    sim_assert(_size == 0);
+    sim_assert(s.curTick >= s.lastEventTick);
+    // setTime() both moves the clock and re-anchors the wheel window
+    // (hence the far-horizon cutoff); it must run before
+    // _lastEventTick is restored because it asserts monotonicity
+    // against the queue's own (still-fresh) last-event tick.
+    setTime(s.curTick);
+    _lastEventTick = s.lastEventTick;
+    nextSeq = s.nextSeq;
+    _executed = s.executed;
+    _peakLive = std::size_t(s.peakLive);
+    _wheelInserts = s.wheelInserts;
+    _farInserts = s.farInserts;
+}
+
 void
 EventQueue::executeEvent(Event *ev)
 {
@@ -281,6 +313,14 @@ EventQueue::run(Tick max_tick)
     if (max_tick != std::numeric_limits<Tick>::max() &&
         _curTick < max_tick) {
         _curTick = max_tick;
+        // Same family as setTime(): once the queue is empty the wheel
+        // can re-anchor at the bound, so the next schedule() near the
+        // new time lands in a wheel bucket instead of being misfiled
+        // into the far heap by a stale wheelBase.  (With events still
+        // pending the base must stay put — bucket indices are
+        // absolute-tick residues, valid only within the live window.)
+        if (_size == 0)
+            wheelBase = max_tick;
     }
     return executed;
 }

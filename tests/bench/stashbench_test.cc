@@ -197,6 +197,43 @@ TEST(StashbenchSchemaTest, BenchListCarriesScalesAndDescriptions)
     EXPECT_STREQ(findBench("table3")->scales, "-");
 }
 
+TEST(StashbenchSchemaTest, InventoryDocumentMatchesBenchList)
+{
+    const JsonValue doc = benchInventoryJson();
+    EXPECT_EQ(doc.find("schema")->asString(),
+              "stashsim-benchlist-v1");
+
+    const JsonValue *benches = doc.find("benches");
+    ASSERT_NE(benches, nullptr);
+    ASSERT_TRUE(benches->isArray());
+    ASSERT_EQ(benches->size(), benchList().size());
+
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < benches->size(); ++i) {
+        const JsonValue &row = benches->at(i);
+        ASSERT_NE(row.find("name"), nullptr);
+        const std::string name = row.find("name")->asString();
+        EXPECT_TRUE(names.insert(name).second)
+            << "duplicate: " << name;
+        EXPECT_FALSE(row.find("title")->asString().empty()) << name;
+        EXPECT_FALSE(row.find("description")->asString().empty())
+            << name;
+        ASSERT_NE(row.find("scales"), nullptr) << name;
+        EXPECT_TRUE(row.find("scales")->isArray()) << name;
+        if (name == "fig5") {
+            const JsonValue *scales = row.find("scales");
+            ASSERT_EQ(scales->size(), 3u);
+            EXPECT_EQ(scales->at(0).asString(), "smoke");
+            EXPECT_EQ(scales->at(1).asString(), "quick");
+            EXPECT_EQ(scales->at(2).asString(), "full");
+        }
+        if (name == "table3") // analytic table: runs no simulation
+            EXPECT_EQ(row.find("scales")->size(), 0u);
+    }
+    EXPECT_NE(names.count("fig5"), 0u);
+    EXPECT_NE(names.count("table3"), 0u);
+}
+
 TEST(StashbenchSchemaTest, SimperfDocumentRecordsEngineShape)
 {
     const BenchInfo *bench = findBench("fig5");

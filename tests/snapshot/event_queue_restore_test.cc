@@ -1,0 +1,133 @@
+/**
+ * @file
+ * EventQueue checkpoint-restore tests.
+ *
+ * The load-bearing cases are the calendar-wheel re-anchor family:
+ * restoring (or exhausting a bounded run at) a far-future tick must
+ * move the wheel's classification cutoff along with the clock, or
+ * every subsequently scheduled near event would misroute into the
+ * far-horizon heap — functionally correct but quadratically slow, and
+ * a silent divergence from an uninterrupted run's queue-shape
+ * counters, which the resume-parity artifact comparison would flag.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace stashsim
+{
+namespace
+{
+
+TEST(EventQueueRestoreTest, ClockStateRoundTrips)
+{
+    EventQueue a;
+    int fired = 0;
+    a.schedule(10, [&] { ++fired; });
+    a.schedule(5000, [&] { ++fired; }); // beyond the wheel: far heap
+    a.schedule(20, [&] { ++fired; });
+    EXPECT_EQ(a.run(), 3u);
+    const EventQueue::ClockState s = a.clockState();
+    EXPECT_EQ(s.curTick, 5000u);
+    EXPECT_EQ(s.lastEventTick, 5000u);
+    EXPECT_EQ(s.executed, 3u);
+    EXPECT_GE(s.nextSeq, 3u);
+    EXPECT_GE(s.farInserts, 1u);
+
+    EventQueue b;
+    b.restoreClock(s);
+    const EventQueue::ClockState t = b.clockState();
+    EXPECT_EQ(t.curTick, s.curTick);
+    EXPECT_EQ(t.lastEventTick, s.lastEventTick);
+    EXPECT_EQ(t.nextSeq, s.nextSeq);
+    EXPECT_EQ(t.executed, s.executed);
+    EXPECT_EQ(t.peakLive, s.peakLive);
+    EXPECT_EQ(t.wheelInserts, s.wheelInserts);
+    EXPECT_EQ(t.farInserts, s.farInserts);
+    EXPECT_EQ(b.curTick(), s.curTick);
+    EXPECT_TRUE(b.empty());
+}
+
+TEST(EventQueueRestoreTest, RestoreClockReanchorsWheelCutoff)
+{
+    EventQueue::ClockState s;
+    s.curTick = 1'000'000'000;
+    s.lastEventTick = 1'000'000'000;
+    s.nextSeq = 12345;
+    s.executed = 777;
+
+    EventQueue eq;
+    eq.restoreClock(s);
+    const std::uint64_t wheelBefore = eq.wheelInserts();
+    const std::uint64_t farBefore = eq.farInserts();
+
+    // A near event after restore must take the wheel path.  If only
+    // the tick were restored, the cutoff would still sit near tick 0
+    // and this insert would land in the far heap.
+    bool ran = false;
+    eq.scheduleIn(100, [&] { ran = true; });
+    EXPECT_EQ(eq.wheelInserts(), wheelBefore + 1);
+    EXPECT_EQ(eq.farInserts(), farBefore);
+    EXPECT_EQ(eq.run(), 1u);
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(eq.curTick(), 1'000'000'100u);
+}
+
+/**
+ * Same bug family, different entry point: a bounded run() that
+ * exhausts its events advances curTick to the bound, and with the
+ * queue empty the wheel must re-anchor there too.
+ */
+TEST(EventQueueRestoreTest, BoundedRunExhaustionReanchorsWheel)
+{
+    EventQueue eq;
+    bool early = false;
+    eq.schedule(5, [&] { early = true; });
+    eq.run(1'000'000'000);
+    EXPECT_TRUE(early);
+    EXPECT_EQ(eq.curTick(), 1'000'000'000u);
+
+    const std::uint64_t wheelBefore = eq.wheelInserts();
+    const std::uint64_t farBefore = eq.farInserts();
+    bool late = false;
+    eq.scheduleIn(10, [&] { late = true; });
+    EXPECT_EQ(eq.wheelInserts(), wheelBefore + 1);
+    EXPECT_EQ(eq.farInserts(), farBefore);
+    EXPECT_EQ(eq.run(), 1u);
+    EXPECT_TRUE(late);
+    EXPECT_EQ(eq.curTick(), 1'000'000'010u);
+}
+
+/**
+ * Restored queues must execute identical schedules identically: the
+ * restored sequence counter continues the original tie-break order.
+ */
+TEST(EventQueueRestoreTest, RestoredQueueOrderIsDeterministic)
+{
+    auto script = [](EventQueue &eq, std::vector<int> &order) {
+        for (int i = 0; i < 8; ++i)
+            eq.scheduleIn(50, [&order, i] { order.push_back(i); });
+        eq.scheduleIn(25, [&order] { order.push_back(100); });
+        eq.scheduleIn(75, [&order] { order.push_back(200); });
+        eq.run();
+    };
+
+    EventQueue a;
+    a.schedule(40, [] {});
+    a.run();
+    const EventQueue::ClockState s = a.clockState();
+
+    std::vector<int> orderA, orderB;
+    script(a, orderA);
+
+    EventQueue b;
+    b.restoreClock(s);
+    script(b, orderB);
+    EXPECT_EQ(orderA, orderB);
+}
+
+} // namespace
+} // namespace stashsim

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * End-to-end resume parity: a run that checkpoints, dies, and is
+ * restored into a fresh System must finish with results
+ * byte-identical to an uninterrupted run — every stats counter, the
+ * energy breakdown, the deterministic SimPerf counters, and the final
+ * memory image.  Also covered: restoring a serially-taken checkpoint
+ * under a sharded engine, the verify instruments staying armed across
+ * the restore boundary, and the rejection diagnostics for mismatched
+ * configurations and workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "driver/run.hh"
+#include "snapshot/snapshot.hh"
+
+namespace stashsim
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+std::string
+freshDir(const std::string &name)
+{
+    const std::string d = ::testing::TempDir() + name;
+    fs::remove_all(d);
+    fs::create_directories(d);
+    return d;
+}
+
+/** (tick, path) of every checkpoint in @p dir, oldest first. */
+std::vector<std::pair<std::uint64_t, std::string>>
+checkpointsIn(const std::string &dir)
+{
+    std::vector<std::pair<std::uint64_t, std::string>> out;
+    for (const auto &de : fs::directory_iterator(dir)) {
+        const std::string name = de.path().filename().string();
+        if (name.rfind("CKPT_", 0) != 0)
+            continue;
+        const std::size_t at = name.find('@');
+        if (at == std::string::npos)
+            continue;
+        out.emplace_back(
+            std::strtoull(name.c_str() + at + 1, nullptr, 10),
+            de.path().string());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+/** Every deterministic observable of a run, one comparable string. */
+std::string
+fingerprint(const RunResult &r)
+{
+    std::ostringstream os;
+    os << "validated=" << r.validated
+       << " gpuCycles=" << r.gpuCycles
+       << " energy=" << r.energy.total()
+       << " events=" << r.perf.events
+       << " simTicks=" << r.perf.simTicks << "\n";
+    for (const auto &[key, value] : r.stats.flatten())
+        os << key << "=" << value << "\n";
+    return os.str();
+}
+
+RunSpec
+baseSpec(workloads::Scale scale = workloads::Scale::Smoke)
+{
+    RunSpec spec;
+    spec.workload = "Reuse"; // multi-phase: warmup, kernels, readback
+    spec.org = MemOrg::Stash;
+    spec.scale = scale;
+    spec.shards = 1;
+    return spec;
+}
+
+/** Attaches a finish hook capturing the system's end-state image. */
+void
+captureEndImage(RunSpec &spec, std::vector<std::uint8_t> *out)
+{
+    spec.finish = [out](System &sys, const RunResult &) {
+        SnapshotWriter w;
+        sys.saveSnapshot(w);
+        *out = w.serialize();
+    };
+}
+
+TEST(ResumeParityTest, CheckpointingIsObservationallyPure)
+{
+    const std::string dir = freshDir("ckpt_pure");
+    const RunSpec plain = baseSpec();
+    RunSpec ckpt = baseSpec();
+    ckpt.checkpointEveryTicks = 1; // every eligible phase boundary
+    ckpt.checkpointDir = dir;
+
+    const RunResult a = runSpec(plain);
+    const RunResult b = runSpec(ckpt);
+    ASSERT_TRUE(a.validated);
+    EXPECT_EQ(fingerprint(a), fingerprint(b));
+    EXPECT_FALSE(checkpointsIn(dir).empty())
+        << "multi-phase run produced no checkpoints";
+}
+
+TEST(ResumeParityTest, RestoredRunFinishesByteIdentical)
+{
+    for (const workloads::Scale scale :
+         {workloads::Scale::Smoke, workloads::Scale::Quick}) {
+        const std::string dir = freshDir(
+            scale == workloads::Scale::Smoke ? "restore_smoke"
+                                             : "restore_quick");
+        std::vector<std::uint8_t> refImage;
+        RunSpec ref = baseSpec(scale);
+        ref.checkpointEveryTicks = 1;
+        ref.checkpointDir = dir;
+        captureEndImage(ref, &refImage);
+        const RunResult full = runSpec(ref);
+        ASSERT_TRUE(full.validated);
+
+        const auto ckpts = checkpointsIn(dir);
+        ASSERT_FALSE(ckpts.empty());
+        // Restore from every checkpoint the run dropped — early and
+        // late resume points must both converge to the same end.
+        for (const auto &[tick, path] : ckpts) {
+            std::vector<std::uint8_t> resImage;
+            RunSpec res = baseSpec(scale);
+            res.restoreFrom = path;
+            captureEndImage(res, &resImage);
+            const RunResult resumed = runSpec(res);
+            EXPECT_EQ(fingerprint(full), fingerprint(resumed))
+                << "restored from tick " << tick;
+            // Full end-state identity: memory image, caches, NoC,
+            // clocks — the whole serialized system.
+            EXPECT_EQ(refImage, resImage)
+                << "end-state image diverged restoring from tick "
+                << tick;
+        }
+    }
+}
+
+TEST(ResumeParityTest, ShardedRestoreOfSerialCheckpoint)
+{
+    const std::string dir = freshDir("restore_sharded");
+    std::vector<std::uint8_t> refImage;
+    RunSpec ref = baseSpec();
+    ref.checkpointEveryTicks = 1;
+    ref.checkpointDir = dir;
+    captureEndImage(ref, &refImage);
+    const RunResult full = runSpec(ref);
+    ASSERT_TRUE(full.validated);
+
+    const auto ckpts = checkpointsIn(dir);
+    ASSERT_FALSE(ckpts.empty());
+    RunSpec res = baseSpec();
+    res.shards = 4;
+    res.restoreFrom = ckpts.back().second;
+    std::vector<std::uint8_t> resImage;
+    captureEndImage(res, &resImage);
+    const RunResult resumed = runSpec(res);
+    EXPECT_EQ(fingerprint(full), fingerprint(resumed));
+
+    // The engine section legitimately differs across modes
+    // (per-tile queue-shape counters); every model-state section must
+    // be byte-identical.
+    SnapshotReader a(refImage), b(resImage);
+    ASSERT_EQ(a.sectionNames(), b.sectionNames());
+    for (const std::string &name : a.sectionNames()) {
+        if (name == "engine")
+            continue;
+        EXPECT_EQ(a.sectionData(name), b.sectionData(name))
+            << "section " << name;
+    }
+}
+
+TEST(ResumeParityTest, VerifyInstrumentsStayArmedAcrossRestore)
+{
+    SystemConfig cfg = SystemConfig::microbenchmarkDefault();
+    cfg.memOrg = MemOrg::Stash;
+    cfg.verify.protocolChecker = true;
+    cfg.verify.watchdog = true;
+
+    const std::string dir = freshDir("restore_verify");
+    RunSpec ref = baseSpec();
+    ref.config = cfg;
+    ref.checkpointEveryTicks = 1;
+    ref.checkpointDir = dir;
+    const RunResult full = runSpec(ref);
+    ASSERT_TRUE(full.validated);
+
+    const auto ckpts = checkpointsIn(dir);
+    ASSERT_FALSE(ckpts.empty());
+    RunSpec res = baseSpec();
+    res.config = cfg;
+    res.restoreFrom = ckpts.back().second;
+    const RunResult resumed = runSpec(res);
+    ASSERT_TRUE(resumed.validated)
+        << (resumed.errors.empty() ? "?" : resumed.errors[0]);
+    EXPECT_EQ(fingerprint(full), fingerprint(resumed));
+
+    // The checkpoint really carried the checker's golden image.
+    SnapshotReader r = SnapshotReader::fromFile(ckpts.back().second);
+    EXPECT_TRUE(r.hasSection("checker"));
+}
+
+TEST(ResumeParityTest, ConfigMismatchIsRejectedWithDiagnostic)
+{
+    const std::string dir = freshDir("restore_cfg_mismatch");
+    RunSpec ref = baseSpec();
+    ref.checkpointEveryTicks = 1;
+    ref.checkpointDir = dir;
+    ASSERT_TRUE(runSpec(ref).validated);
+    const auto ckpts = checkpointsIn(dir);
+    ASSERT_FALSE(ckpts.empty());
+
+    RunSpec res = baseSpec();
+    SystemConfig other = SystemConfig::microbenchmarkDefault();
+    other.memOrg = MemOrg::Stash;
+    other.l1Bytes *= 2;
+    res.config = other;
+    res.restoreFrom = ckpts.back().second;
+    try {
+        runSpec(res);
+        FAIL() << "config-hash mismatch must be fatal";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("configuration hash"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ResumeParityTest, WorkloadMismatchIsRejectedWithDiagnostic)
+{
+    const std::string dir = freshDir("restore_wl_mismatch");
+    RunSpec ref = baseSpec();
+    ref.checkpointEveryTicks = 1;
+    ref.checkpointDir = dir;
+    ASSERT_TRUE(runSpec(ref).validated);
+    const auto ckpts = checkpointsIn(dir);
+    ASSERT_FALSE(ckpts.empty());
+
+    RunSpec res = baseSpec();
+    res.workload = "Implicit"; // same machine, different workload
+    res.restoreFrom = ckpts.back().second;
+    try {
+        runSpec(res);
+        FAIL() << "workload mismatch must be fatal";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("workload"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ResumeParityTest, FaultInjectionRefusesCheckpointing)
+{
+    SystemConfig cfg = SystemConfig::microbenchmarkDefault();
+    cfg.memOrg = MemOrg::Stash;
+    cfg.verify.faultInjection = true;
+
+    RunSpec spec = baseSpec();
+    spec.config = cfg;
+    spec.checkpointEveryTicks = 1;
+    spec.checkpointDir = freshDir("ckpt_faults");
+    // The injector's RNG stream is not serializable; the combination
+    // must fail loudly rather than produce non-replayable state.
+    EXPECT_THROW(runSpec(spec), std::runtime_error);
+}
+
+} // namespace
+} // namespace stashsim

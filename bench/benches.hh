@@ -29,6 +29,7 @@
 #ifndef STASHSIM_BENCH_BENCHES_HH
 #define STASHSIM_BENCH_BENCHES_HH
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -69,6 +70,14 @@ struct SimperfCollector
      *  recorded in the artifact so per-mode events/sec compare. */
     unsigned shards = 1;
 
+    /**
+     * Recovery counters accumulated across every sweep (cached,
+     * resumed, reclaimed leases, quarantines, ...).  They ride here —
+     * NOT in the per-bench documents — because BENCH_<name>.json must
+     * stay byte-identical between fresh, resumed, and farmed sweeps.
+     */
+    SweepCounters recovery;
+
     /** Folds a sweep's per-run SimPerf summaries into @p bench. */
     void add(const char *bench, const std::vector<RunRecord> &records);
 
@@ -106,6 +115,14 @@ struct BenchContext
     std::string stateDir;
     /** Resume: reuse completed results, restart from checkpoints. */
     bool resume = false;
+    /** Farm worker id for lease files; empty = "w<pid>". */
+    std::string workerId;
+    /** Lease heartbeat TTL in ms (SweepOptions::leaseTtlMs). */
+    std::uint64_t leaseTtlMs = 30'000;
+    /** Attempts per spec before FAILED_* quarantine. */
+    unsigned maxAttempts = 3;
+    /** Cooperative stop flag (SIGINT/SIGTERM); may be nullptr. */
+    const std::atomic<bool> *stop = nullptr;
 };
 
 /** One registered bench. */

@@ -163,6 +163,23 @@ SimperfCollector::toJson(const char *scale, double wallSeconds) const
     q["farInserts"] = double(shape.farInserts);
     tot["queueShape"] = std::move(q);
     doc["totals"] = std::move(tot);
+
+    // Structured recovery counters (sweep.*): this document is the
+    // one non-deterministic artifact, so the resume/farm bookkeeping
+    // belongs here rather than in the byte-reproducible per-bench
+    // documents.
+    report::JsonValue rec = report::JsonValue::object();
+    rec["sweep.cachedRuns"] = double(recovery.cachedRuns);
+    rec["sweep.resumedRuns"] = double(recovery.resumedRuns);
+    rec["sweep.corruptSnapshots"] = double(recovery.corruptSnapshots);
+    rec["sweep.staleResults"] = double(recovery.staleResults);
+    rec["sweep.quarantinedArtifacts"] =
+        double(recovery.quarantinedArtifacts);
+    rec["sweep.reclaimedLeases"] = double(recovery.reclaimedLeases);
+    rec["sweep.retriedRuns"] = double(recovery.retriedRuns);
+    rec["sweep.failedSpecs"] = double(recovery.failedSpecs);
+    rec["sweep.interrupted"] = recovery.interrupted;
+    doc["recovery"] = std::move(rec);
     return doc;
 }
 
@@ -339,6 +356,7 @@ sweepSpecs(const BenchContext &ctx, const char *bench,
     opts.threads = ctx.jobs;
     opts.shardsPerRun = ctx.shards;
     opts.progress = ctx.progress;
+    opts.stop = ctx.stop;
     if (!ctx.stateDir.empty()) {
         // Per-bench state subdirectory: different benches run
         // same-labelled specs under different configurations, and the
@@ -347,11 +365,17 @@ sweepSpecs(const BenchContext &ctx, const char *bench,
         std::filesystem::create_directories(opts.stateDir);
         opts.checkpointEveryTicks = Tick(ctx.checkpointEvery);
         opts.resume = ctx.resume;
+        opts.workerId = ctx.workerId;
+        opts.leaseTtlMs = ctx.leaseTtlMs;
+        opts.maxAttempts = ctx.maxAttempts;
     }
+    SweepCounters counters;
     std::vector<RunRecord> records =
-        SweepDriver(opts).run(std::move(specs));
-    if (ctx.simperf)
+        SweepDriver(opts).run(std::move(specs), &counters);
+    if (ctx.simperf) {
         ctx.simperf->add(bench, records);
+        ctx.simperf->recovery.add(counters);
+    }
     return records;
 }
 

@@ -9,7 +9,9 @@
  * artifacts.  Exits nonzero when any run fails validation.
  */
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -18,6 +20,7 @@
 
 #include "benches.hh"
 #include "driver/bench_args.hh"
+#include "driver/farm.hh"
 #include "driver/sweep.hh"
 #include "workloads/workload_factory.hh"
 
@@ -26,6 +29,21 @@ namespace
 
 using namespace stashsim;
 using namespace stashbench;
+
+/**
+ * SIGINT/SIGTERM set this; the sweep layer polls it at phase
+ * boundaries, drops a final checkpoint for every in-flight run,
+ * releases its leases, and the CLI exits with
+ * farm::interruptedExitCode so wrappers can tell "interrupted,
+ * resumable" from "failed".
+ */
+std::atomic<bool> g_stop{false};
+
+extern "C" void
+stopHandler(int)
+{
+    g_stop.store(true, std::memory_order_relaxed);
+}
 
 int
 listBenches()
@@ -133,16 +151,27 @@ main(int argc, char **argv)
     SimperfCollector simperf;
     simperf.shards = args.shards;
     ctx.simperf = &simperf;
-    // --restore names the state directory and turns resume on;
-    // --checkpoint-every alone drops state under the artifact dir so
-    // a later --restore can pick it up.
-    if (!args.restoreDir.empty()) {
+    // --farm names the shared state directory and implies resume
+    // (workers serve each other's cached results); --restore names
+    // the state directory and turns resume on; --checkpoint-every
+    // alone drops state under the artifact dir so a later --restore
+    // can pick it up.
+    if (!args.farmDir.empty()) {
+        ctx.stateDir = args.farmDir;
+        ctx.resume = true;
+        ctx.workerId = args.workerId;
+        ctx.leaseTtlMs = args.leaseTtlSec * 1000;
+        ctx.maxAttempts = args.maxAttempts;
+    } else if (!args.restoreDir.empty()) {
         ctx.stateDir = args.restoreDir;
         ctx.resume = true;
     } else if (args.checkpointEvery > 0) {
         ctx.stateDir = args.outDir + "/checkpoints";
     }
     ctx.checkpointEvery = args.checkpointEvery;
+    ctx.stop = &g_stop;
+    std::signal(SIGINT, stopHandler);
+    std::signal(SIGTERM, stopHandler);
     if (!ctx.stateDir.empty()) {
         std::error_code ec;
         std::filesystem::create_directories(ctx.stateDir, ec);
@@ -172,6 +201,19 @@ main(int argc, char **argv)
     for (const BenchInfo *b : selected) {
         std::fprintf(stderr, "=== %s: %s ===\n", b->name, b->title);
         report::JsonValue doc = b->run(ctx);
+        if (g_stop.load(std::memory_order_relaxed)) {
+            // Interrupted mid-sweep: the document is incomplete, so
+            // no artifact is written — the state dir already carries
+            // the final checkpoints, and rerunning with --restore (or
+            // the same --farm dir) picks the campaign back up.
+            std::fprintf(stderr,
+                         "stashbench: interrupted during %s; state "
+                         "saved%s%s — resumable (exit %d)\n",
+                         b->name, ctx.stateDir.empty() ? "" : " in ",
+                         ctx.stateDir.c_str(),
+                         farm::interruptedExitCode);
+            return farm::interruptedExitCode;
+        }
         const std::string path =
             args.outDir + "/BENCH_" + b->name + ".json";
         std::ofstream os(path);

@@ -3,8 +3,10 @@
 # times — plain, under AddressSanitizer + UndefinedBehaviorSanitizer,
 # and under ThreadSanitizer (which exercises the sharded engine's
 # barriers and mailboxes) — then run the quick-scale benches serial
-# AND sharded, check the artifacts for byte parity, and check that
-# EXPERIMENTS.md has not drifted from the committed artifacts.
+# AND sharded, check the artifacts for byte parity, exercise the
+# checkpoint/restore and multi-process farm crash-safety paths, and
+# check that EXPERIMENTS.md has not drifted from the committed
+# artifacts.
 #
 # Usage: scripts/ci.sh [jobs]
 set -eu
@@ -79,6 +81,61 @@ for name in fig5 ablation_replication; do
 done
 echo "checkpoint-restored artifacts are byte-identical"
 
+# Farm crash-safety, end to end: two --farm workers drain one fig5
+# sweep over a shared state dir; one is SIGKILLed mid-run (the
+# dead-worker path: its lease goes stale and is reclaimed) and one is
+# SIGTERMed (graceful: final checkpoint, lease released, exit 75
+# "interrupted, resumable").  A fresh worker with a short lease TTL
+# then finishes the campaign, and its artifact must be byte-identical
+# to an uninterrupted single-process run, with no orphaned leases.
+farmref="${root}/build/bench-artifacts-farm-ref"
+farmstate="${root}/build/bench-farm-state"
+echo "=== farm crash-safety (fig5: SIGKILL one worker, SIGTERM one, survivor finishes) ==="
+rm -rf "${farmref}" "${farmstate}" \
+    "${root}/build/bench-artifacts-farm-w1" \
+    "${root}/build/bench-artifacts-farm-w2" \
+    "${root}/build/bench-artifacts-farm-w3"
+mkdir -p "${farmref}" "${farmstate}" \
+    "${root}/build/bench-artifacts-farm-w1" \
+    "${root}/build/bench-artifacts-farm-w2" \
+    "${root}/build/bench-artifacts-farm-w3"
+"${root}/build/bench/stashbench" --quick --jobs "${jobs}" \
+    --out "${farmref}" fig5
+"${root}/build/bench/stashbench" --quick --jobs 1 \
+    --checkpoint-every 1 --farm "${farmstate}" --worker-id w1 \
+    --out "${root}/build/bench-artifacts-farm-w1" fig5 \
+    >/dev/null 2>&1 &
+w1_pid=$!
+"${root}/build/bench/stashbench" --quick --jobs 1 \
+    --checkpoint-every 1 --farm "${farmstate}" --worker-id w2 \
+    --out "${root}/build/bench-artifacts-farm-w2" fig5 \
+    >/dev/null 2>&1 &
+w2_pid=$!
+sleep 2
+kill -KILL "${w1_pid}" 2>/dev/null || true
+kill -TERM "${w2_pid}" 2>/dev/null || true
+w1_rc=0; wait "${w1_pid}" || w1_rc=$?
+w2_rc=0; wait "${w2_pid}" || w2_rc=$?
+# The graceful worker either finished before the signal (0) or exited
+# with the distinct "interrupted, resumable" code (75).
+case "${w2_rc}" in
+    0|75) ;;
+    *) echo "SIGTERMed farm worker exited ${w2_rc}, want 0 or 75" >&2
+       exit 1 ;;
+esac
+sleep 2 # let the SIGKILLed worker's last heartbeat go stale
+"${root}/build/bench/stashbench" --quick --jobs "${jobs}" \
+    --farm "${farmstate}" --worker-id w3 --lease-ttl 1 \
+    --out "${root}/build/bench-artifacts-farm-w3" fig5
+cmp "${farmref}/BENCH_fig5.json" \
+    "${root}/build/bench-artifacts-farm-w3/BENCH_fig5.json"
+if ls "${farmstate}"/fig5/LEASE_*.json >/dev/null 2>&1; then
+    echo "orphaned leases left in the farm state dir:" >&2
+    ls "${farmstate}"/fig5/LEASE_*.json >&2
+    exit 1
+fi
+echo "farmed artifact is byte-identical to the single-process sweep"
+
 # Surface the host-throughput numbers (events/sec per bench and the
 # suite aggregate) directly in the CI log, so every run leaves a
 # measured perf trajectory next to the archived artifact.
@@ -102,4 +159,4 @@ git -C "${root}" diff --exit-code -- EXPERIMENTS.md || {
     exit 1
 }
 
-echo "=== CI passed (plain + ASan/UBSan + TSan + quick benches + parity + checkpoint/restore) ==="
+echo "=== CI passed (plain + ASan/UBSan + TSan + quick benches + parity + checkpoint/restore + farm) ==="

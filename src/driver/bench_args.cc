@@ -78,6 +78,32 @@ BenchArgs::parse(int argc, char **argv, BenchArgs &out,
             if (!needsValue(i, argc, a, err))
                 return false;
             out.restoreDir = argv[++i];
+        } else if (std::strcmp(a, "--farm") == 0) {
+            if (!needsValue(i, argc, a, err))
+                return false;
+            out.farmDir = argv[++i];
+        } else if (std::strcmp(a, "--worker-id") == 0) {
+            if (!needsValue(i, argc, a, err))
+                return false;
+            out.workerId = argv[++i];
+        } else if (std::strcmp(a, "--lease-ttl") == 0) {
+            if (!needsValue(i, argc, a, err))
+                return false;
+            out.leaseTtlSec =
+                std::strtoull(argv[++i], nullptr, 10);
+            if (out.leaseTtlSec == 0) {
+                err = "--lease-ttl must be at least 1 second";
+                return false;
+            }
+        } else if (std::strcmp(a, "--max-attempts") == 0) {
+            if (!needsValue(i, argc, a, err))
+                return false;
+            out.maxAttempts =
+                unsigned(std::strtoul(argv[++i], nullptr, 10));
+            if (out.maxAttempts == 0) {
+                err = "--max-attempts must be at least 1";
+                return false;
+            }
         } else if (std::strcmp(a, "--json") == 0) {
             out.json = true;
         } else if (std::strcmp(a, "--list") == 0) {
@@ -130,6 +156,24 @@ BenchArgs::usage(const char *prog)
            "and interrupted\n"
            "                      ones restart from their latest "
            "valid snapshot\n"
+           "  --farm DIR          join the worker farm over DIR: "
+           "runs are claimed\n"
+           "                      through lease files, so any number "
+           "of processes\n"
+           "                      pointed at DIR drain the sweep "
+           "together (implies\n"
+           "                      --restore semantics); exit code 75 "
+           "means\n"
+           "                      'interrupted, resumable'\n"
+           "  --worker-id S       farm worker identity for lease "
+           "files\n"
+           "                      (default: w<pid>)\n"
+           "  --lease-ttl SECONDS lease heartbeat TTL; a staler "
+           "lease is presumed\n"
+           "                      dead and stolen (default 30)\n"
+           "  --max-attempts N    attempts per run before FAILED_* "
+           "quarantine\n"
+           "                      (default 3)\n"
            "  --json              with --list, emit the bench "
            "inventory as JSON\n"
            "  --list              list benches and exit\n"

@@ -46,6 +46,19 @@ struct BenchArgs
     std::uint64_t checkpointEvery = 0;
     /** Resume from the checkpoint/result state in this directory. */
     std::string restoreDir;
+    /**
+     * Farm over this state directory: claim every run through the
+     * lease protocol so any number of stashbench processes pointed at
+     * the same directory drain one sweep together (implies resume
+     * semantics — workers serve each other's cached results).
+     */
+    std::string farmDir;
+    /** Farm worker id for lease files; empty = "w<pid>". */
+    std::string workerId;
+    /** Lease heartbeat TTL in seconds (farm mode). */
+    std::uint64_t leaseTtlSec = 30;
+    /** Attempts per spec before FAILED_* quarantine (farm mode). */
+    unsigned maxAttempts = 3;
     /** --list emits machine-readable JSON instead of the table. */
     bool json = false;
     bool help = false;
@@ -62,6 +75,8 @@ struct BenchArgs
      *   --components
      *   --checkpoint-every N
      *   --restore DIR
+     *   --farm DIR | --worker-id S | --lease-ttl SECONDS
+     *   --max-attempts N
      *   --list [--json] | --list-workloads
      *   --render-md FILE
      *   --help | -h

@@ -72,6 +72,7 @@ runSpec(const RunSpec &spec)
     ctl.checkpointLabel = artifactLabel(spec.label()) + "-" +
                           workloads::scaleName(spec.scale);
     ctl.restoreFrom = spec.restoreFrom;
+    ctl.interrupt = spec.interrupt;
     RunResult r = sys.run(std::move(wl), ctl);
     if (spec.finish)
         spec.finish(sys, r);

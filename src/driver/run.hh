@@ -16,6 +16,7 @@
 #ifndef STASHSIM_DRIVER_RUN_HH
 #define STASHSIM_DRIVER_RUN_HH
 
+#include <atomic>
 #include <functional>
 #include <optional>
 #include <string>
@@ -76,6 +77,14 @@ struct RunSpec
     std::string checkpointDir;
     /** Snapshot file to resume from (empty = run from tick 0). */
     std::string restoreFrom;
+
+    /**
+     * Cooperative interrupt flag (RunControl::interrupt).  When it
+     * goes true the run stops at its next phase boundary: a final
+     * checkpoint is written (when @ref checkpointDir is set) and
+     * RunInterrupted is thrown out of runSpec().
+     */
+    const std::atomic<bool> *interrupt = nullptr;
 
     /**
      * Called right after System construction, before the run —

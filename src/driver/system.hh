@@ -27,8 +27,11 @@
 #ifndef STASHSIM_DRIVER_SYSTEM_HH
 #define STASHSIM_DRIVER_SYSTEM_HH
 
+#include <atomic>
 #include <iosfwd>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "config/system_config.hh"
@@ -80,6 +83,27 @@ struct RunControl
     std::string checkpointLabel;
     /** Path of a snapshot to resume from (empty: run from tick 0). */
     std::string restoreFrom;
+
+    /**
+     * Cooperative interrupt flag (signal handlers set it).  Checked
+     * at phase boundaries only — the same drain points checkpoints
+     * use.  When observed true the run writes a final checkpoint
+     * (when @ref checkpointDir is set) and throws RunInterrupted.
+     */
+    const std::atomic<bool> *interrupt = nullptr;
+};
+
+/**
+ * Thrown out of System::run when RunControl::interrupt goes true: the
+ * run stopped cleanly at a phase boundary after dropping a final
+ * checkpoint, so it is resumable — callers must treat this as
+ * "interrupted", not "failed".
+ */
+class RunInterrupted : public std::runtime_error
+{
+  public:
+    explicit RunInterrupted(const std::string &workload)
+        : std::runtime_error("run interrupted: " + workload) {}
 };
 
 /** Everything a bench or test needs from one simulated run. */

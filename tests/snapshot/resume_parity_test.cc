@@ -261,19 +261,48 @@ TEST(ResumeParityTest, WorkloadMismatchIsRejectedWithDiagnostic)
     }
 }
 
-TEST(ResumeParityTest, FaultInjectionRefusesCheckpointing)
+TEST(ResumeParityTest, FaultInjectedRunRestoresByteIdentical)
 {
+    // The injector serializes its RNG stream position, FIFO clamps,
+    // and fault counters into the "injector" snapshot section, so a
+    // restored run replays exactly the perturbations the
+    // uninterrupted run would have drawn from that point on.
     SystemConfig cfg = SystemConfig::microbenchmarkDefault();
     cfg.memOrg = MemOrg::Stash;
     cfg.verify.faultInjection = true;
+    cfg.verify.faultSeed = 12345;
+    cfg.verify.faultDelayPermille = 100;
+    cfg.verify.faultDupPermille = 50;
 
-    RunSpec spec = baseSpec();
-    spec.config = cfg;
-    spec.checkpointEveryTicks = 1;
-    spec.checkpointDir = freshDir("ckpt_faults");
-    // The injector's RNG stream is not serializable; the combination
-    // must fail loudly rather than produce non-replayable state.
-    EXPECT_THROW(runSpec(spec), std::runtime_error);
+    const std::string dir = freshDir("restore_faults");
+    std::vector<std::uint8_t> refImage;
+    RunSpec ref = baseSpec();
+    ref.config = cfg;
+    ref.checkpointEveryTicks = 1;
+    ref.checkpointDir = dir;
+    captureEndImage(ref, &refImage);
+    const RunResult full = runSpec(ref);
+    ASSERT_TRUE(full.validated)
+        << (full.errors.empty() ? "?" : full.errors[0]);
+
+    const auto ckpts = checkpointsIn(dir);
+    ASSERT_FALSE(ckpts.empty());
+    SnapshotReader hdr = SnapshotReader::fromFile(ckpts.back().second);
+    EXPECT_TRUE(hdr.hasSection("injector"))
+        << "fault-injected checkpoint must carry the RNG section";
+
+    for (const auto &[tick, path] : ckpts) {
+        std::vector<std::uint8_t> resImage;
+        RunSpec res = baseSpec();
+        res.config = cfg;
+        res.restoreFrom = path;
+        captureEndImage(res, &resImage);
+        const RunResult resumed = runSpec(res);
+        EXPECT_EQ(fingerprint(full), fingerprint(resumed))
+            << "restored from tick " << tick;
+        EXPECT_EQ(refImage, resImage)
+            << "end-state image diverged restoring from tick " << tick;
+    }
 }
 
 } // namespace

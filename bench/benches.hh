@@ -97,6 +97,12 @@ struct BenchContext
     unsigned jobs = 0;
     /** Intra-run shard threads per run; 1 = serial, 0 = auto. */
     unsigned shards = 1;
+    /**
+     * Memory backend for every run that does not pick its own
+     * (stashbench --backend); the memback ablation overrides it per
+     * run to sweep all three.
+     */
+    MemBackendKind backend = MemBackendKind::Fixed;
     /** Sweep progress stream; nullptr = silent. */
     std::ostream *progress = nullptr;
     /** When nonempty, write per-run Chrome traces into this dir. */
@@ -144,6 +150,7 @@ const std::vector<BenchInfo> &benchList();
  * Machine-readable bench inventory (stashbench --list --json):
  *   schema   "stashsim-benchlist-v1"
  *   benches  [{name, title, description, scales[]}]
+ *   backends [{name, description}]   (--backend choices)
  * where scales is empty for scale-independent benches.
  */
 report::JsonValue benchInventoryJson();

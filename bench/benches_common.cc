@@ -11,6 +11,7 @@
 #include <fstream>
 #include <memory>
 
+#include "mem/backend/mem_backend.hh"
 #include "report/trace.hh"
 
 namespace stashbench
@@ -25,6 +26,7 @@ report::JsonValue runAblationChunkGranularity(const BenchContext &ctx);
 report::JsonValue runAblationStashMapSize(const BenchContext &ctx);
 report::JsonValue runAblationTranslationLatency(const BenchContext &ctx);
 report::JsonValue runAblationSparsitySweep(const BenchContext &ctx);
+report::JsonValue runMemBackend(const BenchContext &ctx);
 
 const std::vector<BenchInfo> &
 benchList()
@@ -70,6 +72,13 @@ benchList()
          "smoke quick full",
          "Sweeps access sparsity to find the stash/DMA crossover",
          runAblationSparsitySweep},
+        {"memback",
+         "Ablation: memory backend (fixed DRAM / STT-MRAM / SCM "
+         "DRAM-cache)",
+         "smoke quick full",
+         "Table 3 applications x 3 memory backends x "
+         "stash/scratch/cache",
+         runMemBackend},
     };
     return benches;
 }
@@ -214,6 +223,14 @@ benchInventoryJson()
         arr.push(std::move(e));
     }
     doc["benches"] = std::move(arr);
+    report::JsonValue backends = report::JsonValue::array();
+    for (const MemBackendInfo &b : memBackendList()) {
+        report::JsonValue e = report::JsonValue::object();
+        e["name"] = b.name;
+        e["description"] = b.desc;
+        backends.push(std::move(e));
+    }
+    doc["backends"] = std::move(backends);
     return doc;
 }
 
@@ -351,6 +368,8 @@ sweepSpecs(const BenchContext &ctx, const char *bench,
     for (RunSpec &spec : specs) {
         if (!spec.shards)
             spec.shards = ctx.shards;
+        if (!spec.backend)
+            spec.backend = ctx.backend;
     }
     SweepOptions opts;
     opts.threads = ctx.jobs;

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The memory-backend ablation: every application under each of the
+ * three backing-store models (src/mem/backend) in the Scratch,
+ * Cache, and Stash organizations.  The interesting question is
+ * whether the paper's stash-vs-scratch win survives a memory system
+ * whose misses are not a flat 168 cycles — STT-MRAM punishes the
+ * extra writebacks cache-like organizations generate, while an SCM
+ * DRAM-cache rewards locality in the miss stream — so the document
+ * carries the per-backend stash/scratch cycle ratios directly.
+ */
+
+#include "benches.hh"
+
+#include "mem/backend/mem_backend.hh"
+
+namespace stashbench
+{
+
+namespace
+{
+
+report::JsonValue
+membackMetrics(const RunRecord &rec)
+{
+    const MemBackendStats &mb = rec.result.stats.memback;
+    report::JsonValue m = report::JsonValue::object();
+    m["reads"] = double(mb.reads);
+    m["writes"] = double(mb.writes);
+    m["readStallTicks"] = double(mb.readStallTicks);
+    m["writePauses"] = double(mb.writePauses);
+    m["dcacheHits"] = double(mb.dcacheHits);
+    m["dcacheMisses"] = double(mb.dcacheMisses);
+    m["scmReads"] = double(mb.scmReads);
+    m["scmWrites"] = double(mb.scmWrites);
+    return m;
+}
+
+} // namespace
+
+report::JsonValue
+runMemBackend(const BenchContext &ctx)
+{
+    const std::vector<MemOrg> configs = {MemOrg::Scratch,
+                                         MemOrg::Cache, MemOrg::Stash};
+    std::vector<std::string> names;
+    for (const auto &info :
+         workloads::WorkloadFactory::instance().list()) {
+        if (info.kind == workloads::WorkloadInfo::Kind::Application)
+            names.push_back(info.name);
+    }
+
+    report::JsonValue doc =
+        benchDoc(ctx, "memback", findBench("memback")->title);
+    doc["baseline"] = memOrgName(MemOrg::Scratch);
+    report::JsonValue orgArr = report::JsonValue::array();
+    for (MemOrg org : configs)
+        orgArr.push(memOrgName(org));
+    doc["configs"] = std::move(orgArr);
+    report::JsonValue nameArr = report::JsonValue::array();
+    for (const std::string &n : names)
+        nameArr.push(n);
+    doc["workloads"] = std::move(nameArr);
+    report::JsonValue backArr = report::JsonValue::array();
+    for (const MemBackendInfo &b : memBackendList())
+        backArr.push(b.name);
+    doc["backends"] = std::move(backArr);
+
+    std::vector<RunSpec> specs;
+    std::vector<MemBackendKind> knob;
+    for (const std::string &name : names) {
+        for (const MemBackendInfo &b : memBackendList()) {
+            for (MemOrg org : configs) {
+                RunSpec spec;
+                spec.workload = name;
+                spec.org = org;
+                spec.scale = ctx.scale;
+                spec.backend = b.kind;
+                // The backend rides in the label: sweep-state caching
+                // (RESULT_<label>) and trace files must distinguish
+                // the same workload/org pair across backends.
+                spec.labelOverride = name + "/" +
+                                     std::string(b.name) + "/" +
+                                     memOrgName(org);
+                specs.push_back(std::move(spec));
+                knob.push_back(b.kind);
+            }
+        }
+    }
+
+    std::vector<RunRecord> records =
+        sweepSpecs(ctx, "memback", std::move(specs));
+    report::JsonValue runs = report::JsonValue::array();
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        report::JsonValue run = runToJson(records[i], ctx.components);
+        report::JsonValue params = report::JsonValue::object();
+        params["backend"] = memBackendName(knob[i]);
+        run["params"] = std::move(params);
+        run["metrics"] = membackMetrics(records[i]);
+        runs.push(std::move(run));
+    }
+    doc["runs"] = std::move(runs);
+
+    // The headline table: per backend, Stash cycles over Scratch
+    // cycles per workload plus the geometric-mean-free arithmetic
+    // average — the paper's Figure 6 comparison re-asked under each
+    // memory model.
+    report::JsonValue ratios = report::JsonValue::object();
+    for (const MemBackendInfo &b : memBackendList()) {
+        report::JsonValue per = report::JsonValue::object();
+        double sum = 0;
+        std::size_t n = 0;
+        for (const std::string &name : names) {
+            double scratch = 0, stash = 0;
+            for (std::size_t i = 0; i < records.size(); ++i) {
+                const RunSpec &s = records[i].spec;
+                if (s.workload != name || knob[i] != b.kind)
+                    continue;
+                if (s.org == MemOrg::Scratch)
+                    scratch = double(records[i].result.gpuCycles);
+                else if (s.org == MemOrg::Stash)
+                    stash = double(records[i].result.gpuCycles);
+            }
+            if (scratch > 0) {
+                per[name] = stash / scratch;
+                sum += stash / scratch;
+                ++n;
+            }
+        }
+        if (n > 0)
+            per["average"] = sum / double(n);
+        ratios[b.name] = std::move(per);
+    }
+    doc["stashOverScratchCycles"] = std::move(ratios);
+    return doc;
+}
+
+} // namespace stashbench

@@ -74,6 +74,7 @@ struct MiniSystem
     PageTable pt;
     Mesh mesh{eq, MeshParams{}};
     Fabric fabric{mesh};
+    std::vector<std::unique_ptr<MemBackend>> backends;
     std::vector<std::unique_ptr<LlcBank>> llc;
     std::unique_ptr<Tlb> tlb;
     std::unique_ptr<L1Cache> cache;
@@ -82,8 +83,10 @@ struct MiniSystem
     MiniSystem()
     {
         for (NodeId n = 0; n < 16; ++n) {
+            backends.push_back(makeMemBackend(MemBackendConfig{}, eq,
+                                              mem, gpuClockPeriod));
             llc.push_back(std::make_unique<LlcBank>(
-                eq, fabric, mem, n, LlcBank::Params{}));
+                eq, fabric, *backends.back(), n, LlcBank::Params{}));
             fabric.registerObject(n, Unit::Llc, llc.back().get());
         }
         tlb = std::make_unique<Tlb>(pt, 64);

@@ -22,6 +22,7 @@
 #include "driver/bench_args.hh"
 #include "driver/farm.hh"
 #include "driver/sweep.hh"
+#include "mem/backend/mem_backend.hh"
 #include "workloads/workload_factory.hh"
 
 namespace
@@ -145,6 +146,20 @@ main(int argc, char **argv)
     ctx.scale = args.scale;
     ctx.jobs = args.jobs;
     ctx.shards = args.shards;
+    if (!args.backend.empty() &&
+        !memBackendFromName(args.backend, ctx.backend)) {
+        std::string names;
+        for (const MemBackendInfo &b : memBackendList()) {
+            if (!names.empty())
+                names += ", ";
+            names += b.name;
+        }
+        std::fprintf(stderr,
+                     "stashbench: unknown memory backend '%s' "
+                     "(valid: %s; --list --json has descriptions)\n",
+                     args.backend.c_str(), names.c_str());
+        return 2;
+    }
     ctx.progress = &std::cerr;
     ctx.traceDir = args.traceDir;
     ctx.components = args.components;

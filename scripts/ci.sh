@@ -136,6 +136,30 @@ if ls "${farmstate}"/fig5/LEASE_*.json >/dev/null 2>&1; then
 fi
 echo "farmed artifact is byte-identical to the single-process sweep"
 
+# Memory-backend leg: one quick bench per backend.  --backend fixed
+# is the default model spelled explicitly, so its artifact must be
+# byte-identical to the plain quick run's; sttmram and scmcache just
+# have to run to completion with validated runs (their artifacts are
+# model-dependent by design).  BENCH_memback.json — the three-backend
+# ablation — is archived by the all-bench quick leg above.
+backends_dir="${root}/build/bench-artifacts-backends"
+echo "=== stashbench --backend legs (fixed parity + sttmram/scmcache) ==="
+for backend in fixed sttmram scmcache; do
+    rm -rf "${backends_dir}/${backend}"
+    mkdir -p "${backends_dir}/${backend}"
+    "${root}/build/bench/stashbench" --quick --jobs "${jobs}" \
+        --backend "${backend}" --out "${backends_dir}/${backend}" fig5
+done
+cmp "${artifacts}/BENCH_fig5.json" \
+    "${backends_dir}/fixed/BENCH_fig5.json"
+echo "--backend fixed artifact is byte-identical to the default"
+if "${root}/build/bench/stashbench" --backend bogus fig5 \
+    >/dev/null 2>&1; then
+    echo "--backend bogus should have been rejected" >&2
+    exit 1
+fi
+echo "--backend bogus rejected with a diagnostic"
+
 # Surface the host-throughput numbers (events/sec per bench and the
 # suite aggregate) directly in the CI log, so every run leaves a
 # measured perf trajectory next to the archived artifact.
@@ -159,4 +183,4 @@ git -C "${root}" diff --exit-code -- EXPERIMENTS.md || {
     exit 1
 }
 
-echo "=== CI passed (plain + ASan/UBSan + TSan + quick benches + parity + checkpoint/restore + farm) ==="
+echo "=== CI passed (plain + ASan/UBSan + TSan + quick benches + parity + checkpoint/restore + farm + backends) ==="

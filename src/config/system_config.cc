@@ -24,6 +24,35 @@ memOrgName(MemOrg org)
     }
 }
 
+const char *
+memBackendName(MemBackendKind kind)
+{
+    switch (kind) {
+      case MemBackendKind::Fixed:
+        return "fixed";
+      case MemBackendKind::SttMram:
+        return "sttmram";
+      case MemBackendKind::ScmCache:
+        return "scmcache";
+      default:
+        return "?";
+    }
+}
+
+bool
+memBackendFromName(const std::string &name, MemBackendKind &out)
+{
+    for (MemBackendKind k :
+         {MemBackendKind::Fixed, MemBackendKind::SttMram,
+          MemBackendKind::ScmCache}) {
+        if (name == memBackendName(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
 SystemConfig
 SystemConfig::microbenchmarkDefault()
 {

@@ -46,6 +46,60 @@ usesScratchpad(MemOrg org)
 }
 
 /**
+ * The pluggable memory backends behind the LLC (src/mem/backend).
+ * `Fixed` is the paper's machine: every miss costs the same flat
+ * DRAM latency.  The other two are drawn from related work so the
+ * benches can ask how the stash's lazy-writeback advantage moves
+ * when writes are expensive: `SttMram` models an STT-MRAM backing
+ * store with asymmetric read/write latency and write-pausing (FUSE),
+ * `ScmCache` a set-associative DRAM cache in front of a slow
+ * storage-class-memory tier with bandwidth-aware hit/miss queuing
+ * (the POSTECH DRAM-cache design).
+ */
+enum class MemBackendKind
+{
+    Fixed,
+    SttMram,
+    ScmCache,
+};
+
+/** Printable name of a memory backend kind ("fixed", ...). */
+const char *memBackendName(MemBackendKind kind);
+
+/** Parses a backend name; false when @p name is not a backend. */
+bool memBackendFromName(const std::string &name, MemBackendKind &out);
+
+/**
+ * Backend selection plus every backend's timing knobs.  The knobs of
+ * the unselected backends are inert; all of them (and the kind) fold
+ * into the snapshot config hash, so a checkpoint can never restore
+ * under a different memory system.
+ */
+struct MemBackendConfig
+{
+    MemBackendKind kind = MemBackendKind::Fixed;
+
+    // --- fixed: the paper's flat-latency DRAM -------------------------
+    Cycles dramCycles = 168; //!< 197-261 total including L2/NoC path
+
+    // --- sttmram: asymmetric read/write + write-pausing (FUSE) --------
+    Cycles sttReadCycles = 140;  //!< reads slightly ahead of DRAM
+    Cycles sttWriteCycles = 450; //!< writes ~3x the read latency
+    /** Write-queue depth; a read arriving at a full queue must wait
+     *  for the head write to drain before it can pause the rest. */
+    unsigned sttWriteQueue = 8;
+
+    // --- scmcache: DRAM cache over SCM (POSTECH) -----------------------
+    unsigned scmCacheLines = 2048; //!< DRAM-cache lines per LLC bank
+    unsigned scmCacheAssoc = 8;
+    Cycles scmHitCycles = 168;      //!< DRAM-cache hit latency
+    Cycles scmHitOccupancy = 4;     //!< DRAM channel busy per access
+    Cycles scmReadCycles = 500;     //!< SCM tier read latency
+    Cycles scmWriteCycles = 1000;   //!< SCM tier write latency
+    Cycles scmOccupancy = 16;       //!< SCM channel busy per access
+};
+
+/**
  * Verification-and-robustness knobs (src/verify).  Everything is off
  * by default: the checker, watchdog, and fault injector are debugging
  * instruments, not part of the modelled machine.
@@ -122,7 +176,10 @@ struct SystemConfig
     unsigned nocFlitsPerCycle = 4; //!< link width (serialization only)
 
     // --- Memory --------------------------------------------------------
-    Cycles dramCycles = 168; //!< 197-261 total including L2/NoC path
+    /** The backing-store model behind the LLC banks; the per-backend
+     *  latency knobs (dramCycles included) live in here, nowhere
+     *  else. */
+    MemBackendConfig memBackend;
 
     // --- GPU CU --------------------------------------------------------
     unsigned warpSize = 32;

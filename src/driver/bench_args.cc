@@ -55,6 +55,10 @@ BenchArgs::parse(int argc, char **argv, BenchArgs &out,
                 return false;
             out.shards =
                 unsigned(std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(a, "--backend") == 0) {
+            if (!needsValue(i, argc, a, err))
+                return false;
+            out.backend = argv[++i];
         } else if (std::strcmp(a, "--out") == 0) {
             if (!needsValue(i, argc, a, err))
                 return false;
@@ -139,6 +143,13 @@ BenchArgs::usage(const char *prog)
            "(default 1 = serial,\n"
            "                      0 = auto); artifacts are "
            "byte-identical either way\n"
+           "  --backend NAME      memory backend for every run: "
+           "fixed (default),\n"
+           "                      sttmram, or scmcache (see --list "
+           "--json for the\n"
+           "                      inventory); the memback bench "
+           "ignores this and\n"
+           "                      sweeps all three\n"
            "  --out DIR           artifact directory for "
            "BENCH_<name>.json (default: .)\n"
            "  --trace DIR         write a Chrome trace per run "

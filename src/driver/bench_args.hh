@@ -30,6 +30,14 @@ struct BenchArgs
     unsigned jobs = 0;
     /** Intra-run shard threads per run; 1 = serial, 0 = auto. */
     unsigned shards = 1;
+    /**
+     * Memory backend name for every run ("fixed", "sttmram",
+     * "scmcache"); empty keeps each bench's own choice (the fixed
+     * default everywhere except the memback ablation, which sweeps
+     * all three itself).  Validated by the binary against
+     * memBackendList(), not here — the parser stays string-only.
+     */
+    std::string backend;
     /** Directory for BENCH_*.json (and TRACE_*.json) artifacts. */
     std::string outDir = ".";
     /** Bench names to run; empty = all. */
@@ -70,6 +78,7 @@ struct BenchArgs
      *   --quick | --smoke | --scale full|quick|smoke
      *   --jobs N | -j N
      *   --shards N
+     *   --backend NAME
      *   --out DIR
      *   --trace DIR
      *   --components

@@ -30,6 +30,8 @@ resolveRunConfig(const RunSpec &spec)
     cfg.memOrg = spec.org;
     if (spec.shards)
         cfg.shards = *spec.shards;
+    if (spec.backend)
+        cfg.memBackend.kind = *spec.backend;
     return cfg;
 }
 

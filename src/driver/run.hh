@@ -50,6 +50,14 @@ struct RunSpec
     std::optional<unsigned> shards;
 
     /**
+     * Memory backend kind (SystemConfig::memBackend.kind); unset
+     * keeps the configuration's own setting.  Applied on top of
+     * @ref config like @ref org, so sweeps can ablate the backing
+     * store per run.  Knobs beyond the kind come from @ref config.
+     */
+    std::optional<MemBackendKind> backend;
+
+    /**
      * System configuration override; defaults to the workload kind's
      * Table 2 machine.  @ref org is applied on top either way.
      */

@@ -100,16 +100,19 @@ System::System(const SystemConfig &cfg, const EnergyParams &energy)
         fabric.bindQueues(std::move(tq), sharded());
     }
 
-    // LLC banks: one per node.
+    // LLC banks: one per node, each with its own memory-backend
+    // instance on the same queue (the backend's timing knobs —
+    // dramCycles included — live in cfg.memBackend, nowhere else).
     LlcBank::Params lp;
     lp.bankBytes = cfg.llcBankBytes;
     lp.assoc = cfg.llcAssoc;
     lp.accessCycles = cfg.llcBankCycles;
-    lp.dramCycles = cfg.dramCycles;
     for (NodeId n = 0; n < cfg.numNodes(); ++n) {
-        llcBanks.push_back(std::make_unique<LlcBank>(queueFor(n),
-                                                     fabric, mem, n,
-                                                     lp));
+        memBackends.push_back(makeMemBackend(cfg.memBackend,
+                                             queueFor(n), mem,
+                                             gpuClockPeriod));
+        llcBanks.push_back(std::make_unique<LlcBank>(
+            queueFor(n), fabric, *memBackends.back(), n, lp));
         fabric.registerObject(n, Unit::Llc, llcBanks.back().get());
     }
 
@@ -256,6 +259,10 @@ System::registerComponentStats()
     for (unsigned i = 0; i < llcBanks.size(); ++i) {
         registry.addGroup("llc" + std::to_string(i),
                           &llcBanks[i]->stats());
+    }
+    for (unsigned i = 0; i < memBackends.size(); ++i) {
+        registry.addGroup("memback" + std::to_string(i),
+                          &memBackends[i]->stats());
     }
     registry.addGroup("noc", &mesh.stats());
     registry.addValue("sim.tick",
@@ -509,6 +516,8 @@ System::statsSnapshot() const
     }
     for (const auto &b : llcBanks)
         s.llc.add(b->stats());
+    for (const auto &b : memBackends)
+        s.memback.add(b->stats());
     s.noc.add(mesh.stats());
     s.gpuCycles = engine->now() / gpuClockPeriod;
     s.numGpuCus = gpus.size();
@@ -537,6 +546,13 @@ LlcBank *
 System::llcBankOf(PhysAddr line_pa)
 {
     return llcBanks[fabric.nodeOfLlc(line_pa)].get();
+}
+
+MemBackend *
+System::memBackendOf(NodeId node)
+{
+    return node < memBackends.size() ? memBackends[node].get()
+                                     : nullptr;
 }
 
 void
@@ -634,6 +650,12 @@ System::saveSnapshot(SnapshotWriter &w) const
     for (std::size_t i = 0; i < llcBanks.size(); ++i) {
         w.beginSection("llc" + std::to_string(i));
         llcBanks[i]->snapshot(w);
+        w.endSection();
+    }
+
+    for (std::size_t i = 0; i < memBackends.size(); ++i) {
+        w.beginSection("memback" + std::to_string(i));
+        memBackends[i]->snapshot(w);
         w.endSection();
     }
 
@@ -742,6 +764,12 @@ System::restoreSnapshot(SnapshotReader &r)
     for (std::size_t i = 0; i < llcBanks.size(); ++i) {
         r.openSection("llc" + std::to_string(i));
         llcBanks[i]->restore(r);
+        r.closeSection();
+    }
+
+    for (std::size_t i = 0; i < memBackends.size(); ++i) {
+        r.openSection("memback" + std::to_string(i));
+        memBackends[i]->restore(r);
         r.closeSection();
     }
 

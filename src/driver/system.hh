@@ -39,6 +39,7 @@
 #include "cpu/cpu_core.hh"
 #include "energy/energy_model.hh"
 #include "gpu/compute_unit.hh"
+#include "mem/backend/mem_backend.hh"
 #include "mem/cache.hh"
 #include "mem/dma_engine.hh"
 #include "mem/fabric.hh"
@@ -185,6 +186,7 @@ class System
     L1Cache *gpuL1Of(unsigned cu);
     L1Cache *cpuL1Of(unsigned cpu);
     LlcBank *llcBankOf(PhysAddr line_pa);
+    MemBackend *memBackendOf(NodeId node);
     PageTable &pageTableRef() { return pageTable; }
     Fabric &fabricRef() { return fabric; }
     ProtocolChecker *checker() { return _checker.get(); }
@@ -254,6 +256,9 @@ class System
     std::unique_ptr<ProtocolChecker> _checker;
     std::unique_ptr<Watchdog> _watchdog;
 
+    /** One backend per LLC bank, on that bank's queue; declared
+     *  before the banks, which hold references into it. */
+    std::vector<std::unique_ptr<MemBackend>> memBackends;
     std::vector<std::unique_ptr<LlcBank>> llcBanks;
     std::vector<GpuNode> gpus;
     std::vector<CpuNode> cpus;

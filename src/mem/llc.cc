@@ -69,9 +69,9 @@ class OwnerGroups
 
 } // namespace
 
-LlcBank::LlcBank(EventQueue &eq, Fabric &fabric, MainMemory &mem,
+LlcBank::LlcBank(EventQueue &eq, Fabric &fabric, MemBackend &backend,
                  NodeId node, const Params &p)
-    : eq(eq), fabric(fabric), mem(mem), node(node), params(p),
+    : eq(eq), fabric(fabric), backend(backend), node(node), params(p),
       sets(p.bankBytes / (lineBytes * p.assoc)), lines(sets * p.assoc)
 {
     sim_assert(sets > 0 && (sets & (sets - 1)) == 0);
@@ -109,6 +109,12 @@ LlcBank::allocLine(PhysAddr line_pa)
         }
         if (l.fillPending)
             continue;
+        if (l.inService > 0) {
+            // A request accepted this line and its bank access is in
+            // flight; evicting it now would break the accept/serve
+            // invariant process() relies on.
+            continue;
+        }
         bool has_registered = false;
         for (const WordEntry &we : l.words) {
             if (we.state == WordState::Registered) {
@@ -133,7 +139,7 @@ LlcBank::allocLine(PhysAddr line_pa)
                 d.w[w] = victim->words[w].data;
                 m |= wordBit(w);
             }
-            mem.writeLine(victim->pa, m, d);
+            backend.writeLine(victim->pa, m, d);
             ++_stats.memWrites;
         }
     }
@@ -144,6 +150,7 @@ LlcBank::allocLine(PhysAddr line_pa)
     victim->lastUse = ++useClock;
     victim->fillPending = false;
     victim->waiting.clear();
+    victim->inService = 0;
     return victim;
 }
 
@@ -160,11 +167,13 @@ LlcBank::receive(const Msg &msg)
         line->fillPending = true;
         line->waiting.push_back(msg);
         const PhysAddr pa = msg.linePA;
-        eq.scheduleIn(params.dramCycles * params.clockPeriod, [this,
-                                                               pa]() {
+        // The backend completes with the memory image as of the
+        // completion tick and charges its own model's latency
+        // (fillPending lines are never victims, so the line is still
+        // here when the fill lands).
+        backend.readLine(pa, [this, pa](const LineData &d) {
             Line *l = findLine(pa);
             sim_assert(l && l->fillPending);
-            const LineData d = mem.readLine(pa);
             for (unsigned w = 0; w < wordsPerLine; ++w) {
                 l->words[w].state = WordState::Valid;
                 l->words[w].data = d.w[w];
@@ -184,20 +193,21 @@ LlcBank::receive(const Msg &msg)
 void
 LlcBank::process(const Msg &msg)
 {
-    // Bank access latency, then serve.  Copy the message; the line is
-    // re-looked-up at serve time (it cannot be evicted meanwhile in
-    // this model because eviction only happens on allocation, which
-    // only happens in receive(), which runs at delivery time -- but a
-    // concurrent fill allocation in the same set could evict us, so
-    // re-find defensively).
+    // Bank access latency, then serve.  The line cannot be evicted
+    // between accept and serve: marking it in-service takes it out of
+    // allocLine()'s victim pool (a concurrent fill allocation in the
+    // same set would otherwise be able to evict it while its lastUse
+    // is still stale).  The serve callback asserts the invariant.
+    {
+        Line *accepted = findLine(msg.linePA);
+        sim_assert(accepted && !accepted->fillPending);
+        ++accepted->inService;
+    }
     Msg m = msg;
     eq.scheduleIn(params.accessCycles * params.clockPeriod, [this, m]() {
         Line *line = findLine(m.linePA);
-        if (!line) {
-            // Evicted between accept and serve: retry from scratch.
-            receive(m);
-            return;
-        }
+        sim_assert(line && line->inService > 0);
+        --line->inService;
         line->lastUse = ++useClock;
         ++_stats.accesses;
         switch (m.type) {
@@ -415,7 +425,7 @@ LlcBank::flushDirtyToMemory()
             }
         }
         if (m)
-            mem.writeLine(line.pa, m, d);
+            backend.writeLineFunctional(line.pa, m, d);
         line.dirty = false;
     }
 }
@@ -470,9 +480,11 @@ LlcBank::snapshot(SnapshotWriter &w) const
         const Line &line = lines[i];
         if (!line.allocated)
             continue;
-        // Drain points have no fill in flight and no parked requests.
+        // Drain points have no fill in flight, no parked requests,
+        // and no bank access between accept and serve.
         sim_assert(!line.fillPending);
         sim_assert(line.waiting.empty());
+        sim_assert(line.inService == 0);
         w.u32(std::uint32_t(i));
         w.u64(line.pa);
         w.b(line.dirty);

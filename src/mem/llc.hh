@@ -12,8 +12,9 @@
  * (remote L1/stash hits, Table 2's 35-83 cycle path).
  *
  * Banks are interleaved at line granularity across all 16 mesh nodes
- * (NUCA); a bank access costs `accessCycles`, a miss adds the DRAM
- * latency.  Victims with live registrations are never selected (the
+ * (NUCA); a bank access costs `accessCycles`, a miss adds whatever
+ * the bank's memory backend charges (src/mem/backend — flat DRAM by
+ * default, STT-MRAM or an SCM DRAM-cache by configuration).  Victims with live registrations are never selected (the
  * directory state is the only pointer to the owner's data); with the
  * paper's 4 MB LLC and the evaluated working sets this never
  * constrains the replacement policy in practice, and we panic loudly
@@ -25,9 +26,9 @@
 
 #include <vector>
 
+#include "mem/backend/mem_backend.hh"
 #include "mem/coherence/denovo.hh"
 #include "mem/fabric.hh"
-#include "mem/main_memory.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 
@@ -48,12 +49,16 @@ class LlcBank : public MemObject
         unsigned bankBytes = 256 * 1024;
         unsigned assoc = 16;
         Cycles accessCycles = 23;
-        Cycles dramCycles = 168;
         Tick clockPeriod = gpuClockPeriod;
     };
 
-    LlcBank(EventQueue &eq, Fabric &fabric, MainMemory &mem, NodeId node,
-            const Params &p);
+    /**
+     * @p backend is this bank's backing store: fills and dirty
+     * evictions go through it (it schedules on this bank's queue).
+     * The miss latency lives in the backend's own config — not here.
+     */
+    LlcBank(EventQueue &eq, Fabric &fabric, MemBackend &backend,
+            NodeId node, const Params &p);
 
     void receive(const Msg &msg) override;
 
@@ -112,6 +117,13 @@ class LlcBank : public MemObject
         std::uint64_t lastUse = 0;
         bool fillPending = false;
         std::vector<Msg> waiting; //!< requests queued behind a fill
+        /**
+         * Requests accepted but not yet served (between the bank
+         * access being scheduled and it firing).  Such lines are
+         * never eviction victims — that is the invariant process()
+         * asserts at serve time.
+         */
+        unsigned inService = 0;
     };
 
     unsigned setIndex(PhysAddr pa) const;
@@ -125,7 +137,7 @@ class LlcBank : public MemObject
 
     EventQueue &eq;
     Fabric &fabric;
-    MainMemory &mem;
+    MemBackend &backend;
     NodeId node;
     Params params;
     unsigned sets;

@@ -245,6 +245,42 @@ struct LlcStats
     void sub(const LlcStats &o) { statsSub(*this, o); }
 };
 
+/**
+ * Memory-backend statistics (src/mem/backend).  One struct covers
+ * all backend kinds; counters a model does not use stay zero (the
+ * fixed backend only moves reads/writes).
+ */
+struct MemBackendStats
+{
+    Counter reads = 0;  //!< line fills requested by the LLC
+    Counter writes = 0; //!< dirty-line writebacks absorbed
+    /** Extra ticks reads spent queued behind writes or a busy
+     *  channel, beyond the backend's unloaded read latency. */
+    Counter readStallTicks = 0;
+    Counter writePauses = 0; //!< sttmram: writes paused by a read
+    Counter dcacheHits = 0;  //!< scmcache: DRAM-cache line hits
+    Counter dcacheMisses = 0;
+    Counter scmReads = 0;  //!< scmcache: lines fetched from SCM
+    Counter scmWrites = 0; //!< scmcache: dirty lines spilled to SCM
+
+    template <class Self, class F>
+    static void
+    visit(Self &s, F &&f)
+    {
+        f("reads", s.reads);
+        f("writes", s.writes);
+        f("readStallTicks", s.readStallTicks);
+        f("writePauses", s.writePauses);
+        f("dcacheHits", s.dcacheHits);
+        f("dcacheMisses", s.dcacheMisses);
+        f("scmReads", s.scmReads);
+        f("scmWrites", s.scmWrites);
+    }
+
+    void add(const MemBackendStats &o) { statsAdd(*this, o); }
+    void sub(const MemBackendStats &o) { statsSub(*this, o); }
+};
+
 /** DMA engine statistics (ScratchGD configuration). */
 struct DmaStats
 {
@@ -327,6 +363,7 @@ struct SystemStats
     ScratchpadStats scratch;
     StashStats stash;
     LlcStats llc;
+    MemBackendStats memback;
     NocStats noc;
     DmaStats dma;
     Cycles gpuCycles = 0; //!< end-to-end run length in GPU cycles
@@ -348,6 +385,7 @@ struct SystemStats
         f("scratch", s.scratch);
         f("stash", s.stash);
         f("llc", s.llc);
+        f("memback", s.memback);
         f("noc", s.noc);
         f("dma", s.dma);
     }
@@ -366,6 +404,7 @@ struct SystemStats
         scratch.sub(o.scratch);
         stash.sub(o.stash);
         llc.sub(o.llc);
+        memback.sub(o.memback);
         noc.sub(o.noc);
         dma.sub(o.dma);
         gpuCycles -= o.gpuCycles;

@@ -137,7 +137,21 @@ snapshotConfigHash(const SystemConfig &cfg)
     mix(cfg.routerCycles);
     mix(cfg.linkCycles);
     mix(cfg.nocFlitsPerCycle);
-    mix(cfg.dramCycles);
+    // The memory backend's identity and every one of its knobs: a
+    // checkpoint taken against one backing-store model must never
+    // restore into another.
+    mix(std::uint64_t(cfg.memBackend.kind));
+    mix(cfg.memBackend.dramCycles);
+    mix(cfg.memBackend.sttReadCycles);
+    mix(cfg.memBackend.sttWriteCycles);
+    mix(cfg.memBackend.sttWriteQueue);
+    mix(cfg.memBackend.scmCacheLines);
+    mix(cfg.memBackend.scmCacheAssoc);
+    mix(cfg.memBackend.scmHitCycles);
+    mix(cfg.memBackend.scmHitOccupancy);
+    mix(cfg.memBackend.scmReadCycles);
+    mix(cfg.memBackend.scmWriteCycles);
+    mix(cfg.memBackend.scmOccupancy);
     mix(cfg.warpSize);
     mix(cfg.maxResidentTbsPerCu);
     mix(cfg.maxWarpsPerCu);

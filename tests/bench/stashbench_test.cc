@@ -13,6 +13,7 @@
 #include <sstream>
 
 #include "benches.hh"
+#include "mem/backend/mem_backend.hh"
 
 namespace stashbench
 {
@@ -227,11 +228,37 @@ TEST(StashbenchSchemaTest, InventoryDocumentMatchesBenchList)
             EXPECT_EQ(scales->at(1).asString(), "quick");
             EXPECT_EQ(scales->at(2).asString(), "full");
         }
-        if (name == "table3") // analytic table: runs no simulation
+        if (name == "table3") { // analytic table: runs no simulation
             EXPECT_EQ(row.find("scales")->size(), 0u);
+        }
     }
     EXPECT_NE(names.count("fig5"), 0u);
     EXPECT_NE(names.count("table3"), 0u);
+    EXPECT_NE(names.count("memback"), 0u);
+
+    // The --backend choices ride in the same inventory document.
+    const JsonValue *backends = doc.find("backends");
+    ASSERT_NE(backends, nullptr);
+    ASSERT_TRUE(backends->isArray());
+    ASSERT_EQ(backends->size(), memBackendList().size());
+    std::set<std::string> backendNames;
+    for (std::size_t i = 0; i < backends->size(); ++i) {
+        const JsonValue &row = backends->at(i);
+        ASSERT_NE(row.find("name"), nullptr);
+        const std::string name = row.find("name")->asString();
+        EXPECT_TRUE(backendNames.insert(name).second)
+            << "duplicate: " << name;
+        EXPECT_FALSE(row.find("description")->asString().empty())
+            << name;
+        // Every advertised name must round-trip through the parser
+        // the CLI validates --backend with.
+        MemBackendKind kind;
+        EXPECT_TRUE(memBackendFromName(name, kind)) << name;
+        EXPECT_STREQ(memBackendName(kind), name.c_str());
+    }
+    EXPECT_NE(backendNames.count("fixed"), 0u);
+    EXPECT_NE(backendNames.count("sttmram"), 0u);
+    EXPECT_NE(backendNames.count("scmcache"), 0u);
 }
 
 TEST(StashbenchSchemaTest, SimperfDocumentRecordsEngineShape)

@@ -35,8 +35,11 @@ class StashBench : public ::testing::Test
         mesh = std::make_unique<Mesh>(eq, MeshParams{});
         fabric = std::make_unique<Fabric>(*mesh);
         for (NodeId n = 0; n < 16; ++n) {
+            backends.push_back(makeMemBackend(MemBackendConfig{}, eq,
+                                              mem, gpuClockPeriod));
             llc.push_back(std::make_unique<LlcBank>(
-                eq, *fabric, mem, n, LlcBank::Params{}));
+                eq, *fabric, *backends.back(), n,
+                LlcBank::Params{}));
             fabric->registerObject(n, Unit::Llc, llc.back().get());
         }
         stash = std::make_unique<Stash>(eq, *fabric, pageTable, 0,
@@ -140,6 +143,7 @@ class StashBench : public ::testing::Test
     PageTable pageTable;
     std::unique_ptr<Mesh> mesh;
     std::unique_ptr<Fabric> fabric;
+    std::vector<std::unique_ptr<MemBackend>> backends;
     std::vector<std::unique_ptr<LlcBank>> llc;
     std::unique_ptr<Stash> stash;
     std::unique_ptr<Tlb> tlb;

@@ -40,8 +40,10 @@ class CoherenceBench : public ::testing::Test
 
         LlcBank::Params lp;
         for (NodeId n = 0; n < 16; ++n) {
-            llc.push_back(std::make_unique<LlcBank>(eq, *fabric, mem,
-                                                    n, lp));
+            backends.push_back(makeMemBackend(MemBackendConfig{}, eq,
+                                              mem, gpuClockPeriod));
+            llc.push_back(std::make_unique<LlcBank>(
+                eq, *fabric, *backends.back(), n, lp));
             fabric->registerObject(n, Unit::Llc, llc.back().get());
         }
         for (CoreId c = 0; c < numCaches; ++c) {
@@ -97,6 +99,7 @@ class CoherenceBench : public ::testing::Test
     PageTable pageTable;
     std::unique_ptr<Mesh> mesh;
     std::unique_ptr<Fabric> fabric;
+    std::vector<std::unique_ptr<MemBackend>> backends;
     std::vector<std::unique_ptr<LlcBank>> llc;
     std::vector<std::unique_ptr<Tlb>> tlbs;
     std::vector<std::unique_ptr<L1Cache>> caches;

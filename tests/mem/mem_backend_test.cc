@@ -1,0 +1,457 @@
+/**
+ * @file
+ * Unit tests of the pluggable memory backends (src/mem/backend):
+ * the latency contract of each model, completion-time sampling,
+ * STT-MRAM write-pausing and read-port stalls, the SCM DRAM-cache's
+ * hit/miss/spill paths and channel serialization, snapshot round
+ * trips of each backend's internal state, and the LLC bank's
+ * accept/serve invariant (an in-service line is never an eviction
+ * victim).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "config/system_config.hh"
+#include "mem/backend/mem_backend.hh"
+#include "mem/backend/scmcache_backend.hh"
+#include "mem/backend/sttmram_backend.hh"
+#include "mem/coherence/msg.hh"
+#include "mem/fabric.hh"
+#include "mem/llc.hh"
+#include "mem/main_memory.hh"
+#include "noc/mesh.hh"
+#include "snapshot/snapshot.hh"
+
+namespace stashsim
+{
+namespace
+{
+
+/** Field-by-field stats equality, kept in sync by visit(). */
+void
+expectStatsEq(const MemBackendStats &a, const MemBackendStats &b)
+{
+    std::vector<std::pair<std::string, Counter>> av, bv;
+    MemBackendStats::visit(a, [&](const char *n, const Counter &c) {
+        av.emplace_back(n, c);
+    });
+    MemBackendStats::visit(b, [&](const char *n, const Counter &c) {
+        bv.emplace_back(n, c);
+    });
+    EXPECT_EQ(av, bv);
+}
+
+/** One backend's snapshot as a full serialized image. */
+std::vector<std::uint8_t>
+snapshotBytes(const MemBackend &b)
+{
+    SnapshotWriter w;
+    w.beginSection("x");
+    b.snapshot(w);
+    w.endSection();
+    return w.serialize();
+}
+
+void
+restoreFromBytes(MemBackend &b, const std::vector<std::uint8_t> &img)
+{
+    SnapshotReader r(img);
+    r.openSection("x");
+    b.restore(r);
+    r.closeSection();
+}
+
+TEST(MemBackendFactoryTest, BuildsEveryRegisteredKind)
+{
+    EventQueue eq;
+    MainMemory mem;
+    for (const MemBackendInfo &info : memBackendList()) {
+        MemBackendConfig cfg;
+        cfg.kind = info.kind;
+        auto b = makeMemBackend(cfg, eq, mem, gpuClockPeriod);
+        ASSERT_NE(b, nullptr) << info.name;
+        EXPECT_EQ(b->kind(), info.kind) << info.name;
+        EXPECT_STREQ(b->name(), info.name);
+    }
+}
+
+TEST(FixedBackendTest, DefaultLatencyAndCompletionTimeSampling)
+{
+    EventQueue eq;
+    MainMemory mem;
+    mem.writeWord(0x1000, 0x11);
+    auto b = makeMemBackend(MemBackendConfig{}, eq, mem,
+                            gpuClockPeriod);
+
+    Tick doneTick = 0;
+    LineData got{};
+    b->readLine(0x1000, [&](const LineData &d) {
+        doneTick = eq.curTick();
+        got = d;
+    });
+    // A write landing between request and completion must be visible
+    // in the fill — the classic inline model sampled at completion.
+    eq.scheduleIn(10, [&] { mem.writeWord(0x1000, 0x42); });
+    eq.run();
+
+    EXPECT_EQ(doneTick, Tick(168) * gpuClockPeriod);
+    EXPECT_EQ(got.w[0], 0x42u);
+    EXPECT_EQ(b->stats().reads, 1u);
+
+    // Writes commit functionally right away (fire-and-forget).
+    LineData d{};
+    d.w[1] = 0x77;
+    b->writeLine(0x1000, wordBit(1), d);
+    EXPECT_EQ(mem.readWord(0x1000 + 4), 0x77u);
+    EXPECT_EQ(b->stats().writes, 1u);
+}
+
+TEST(FixedBackendTest, SnapshotRoundTripCarriesStats)
+{
+    EventQueue eq;
+    MainMemory mem;
+    auto a = makeMemBackend(MemBackendConfig{}, eq, mem, 1);
+    a->readLine(0x1000, [](const LineData &) {});
+    a->writeLine(0x2000, fullLineMask, LineData{});
+    eq.run();
+
+    auto b = makeMemBackend(MemBackendConfig{}, eq, mem, 1);
+    const auto img = snapshotBytes(*a);
+    restoreFromBytes(*b, img);
+    expectStatsEq(b->stats(), a->stats());
+    EXPECT_EQ(snapshotBytes(*b), img);
+}
+
+TEST(SttMramBackendTest, UnloadedReadLatency)
+{
+    EventQueue eq;
+    MainMemory mem;
+    MemBackendConfig cfg;
+    cfg.kind = MemBackendKind::SttMram;
+    SttMramBackend b(cfg, eq, mem, 1); // clock 1: ticks == cycles
+
+    Tick doneTick = 0;
+    b.readLine(0x1000, [&](const LineData &) { doneTick = eq.curTick(); });
+    eq.run();
+    EXPECT_EQ(doneTick, Tick(cfg.sttReadCycles));
+    EXPECT_EQ(b.stats().readStallTicks, 0u);
+    EXPECT_EQ(b.stats().writePauses, 0u);
+}
+
+TEST(SttMramBackendTest, ReadPausesPendingWrites)
+{
+    EventQueue eq;
+    MainMemory mem;
+    MemBackendConfig cfg;
+    cfg.kind = MemBackendKind::SttMram;
+    SttMramBackend b(cfg, eq, mem, 1);
+
+    b.writeLine(0x1000, fullLineMask, LineData{}); // completes at 450
+    ASSERT_EQ(b.pendingWrites(), 1u);
+
+    // The read preempts the in-flight write: it is not delayed itself
+    // (queue far from full), but the write is suspended for the
+    // read's 140-cycle service time and now completes at 590.
+    Tick doneTick = 0;
+    b.readLine(0x2000, [&](const LineData &) { doneTick = eq.curTick(); });
+    eq.run();
+    EXPECT_EQ(doneTick, Tick(140));
+    EXPECT_EQ(b.stats().writePauses, 1u);
+    EXPECT_EQ(b.stats().readStallTicks, 0u);
+
+    std::size_t at589 = 99, at591 = 99;
+    eq.scheduleIn(589 - eq.curTick(),
+                  [&] { at589 = b.pendingWrites(); });
+    eq.scheduleIn(591 - eq.curTick(),
+                  [&] { at591 = b.pendingWrites(); });
+    eq.run();
+    EXPECT_EQ(at589, 1u) << "write should still be paused-shifted";
+    EXPECT_EQ(at591, 0u);
+}
+
+TEST(SttMramBackendTest, FullWriteQueueStallsRead)
+{
+    EventQueue eq;
+    MainMemory mem;
+    MemBackendConfig cfg;
+    cfg.kind = MemBackendKind::SttMram;
+    cfg.sttWriteQueue = 2;
+    SttMramBackend b(cfg, eq, mem, 1);
+
+    // Writes serialize on the write port: done at 450 and 900.
+    b.writeLine(0x1000, fullLineMask, LineData{});
+    b.writeLine(0x2000, fullLineMask, LineData{});
+    ASSERT_EQ(b.pendingWrites(), 2u);
+
+    // Queue full: the read waits out the head write (450), then
+    // preempts the survivor (900 -> shifted to 1040 by the pause).
+    Tick doneTick = 0;
+    b.readLine(0x3000, [&](const LineData &) { doneTick = eq.curTick(); });
+    eq.run();
+    EXPECT_EQ(doneTick, Tick(450 + 140));
+    EXPECT_EQ(b.stats().readStallTicks, 450u);
+    EXPECT_EQ(b.stats().writePauses, 1u);
+
+    std::size_t at1039 = 99, at1041 = 99;
+    eq.scheduleIn(1039 - eq.curTick(),
+                  [&] { at1039 = b.pendingWrites(); });
+    eq.scheduleIn(1041 - eq.curTick(),
+                  [&] { at1041 = b.pendingWrites(); });
+    eq.run();
+    EXPECT_EQ(at1039, 1u);
+    EXPECT_EQ(at1041, 0u);
+}
+
+TEST(SttMramBackendTest, SnapshotRoundTripPreservesWriteQueue)
+{
+    EventQueue eq;
+    MainMemory mem;
+    MemBackendConfig cfg;
+    cfg.kind = MemBackendKind::SttMram;
+    SttMramBackend a(cfg, eq, mem, 1);
+
+    a.writeLine(0x1000, fullLineMask, LineData{});
+    a.writeLine(0x2000, fullLineMask, LineData{});
+    a.readLine(0x3000, [](const LineData &) {}); // pauses both writes
+    eq.run(); // drain point: the fill landed, writes are plain data
+    ASSERT_EQ(a.pendingWrites(), 2u);
+
+    SttMramBackend b(cfg, eq, mem, 1);
+    const auto img = snapshotBytes(a);
+    restoreFromBytes(b, img);
+    EXPECT_EQ(b.pendingWrites(), a.pendingWrites());
+    expectStatsEq(b.stats(), a.stats());
+    EXPECT_EQ(snapshotBytes(b), img) << "restore must be a fixed point";
+
+    // Behavioral equivalence from the restored state: an identical
+    // next read sees the identical queue and completes in lockstep.
+    Tick doneA = 0, doneB = 0;
+    a.readLine(0x4000, [&](const LineData &) { doneA = eq.curTick(); });
+    b.readLine(0x4000, [&](const LineData &) { doneB = eq.curTick(); });
+    eq.run();
+    EXPECT_EQ(doneA, doneB);
+    EXPECT_EQ(snapshotBytes(a), snapshotBytes(b));
+}
+
+TEST(ScmCacheBackendTest, MissFillsThenHitIsFast)
+{
+    EventQueue eq;
+    MainMemory mem;
+    MemBackendConfig cfg;
+    cfg.kind = MemBackendKind::ScmCache;
+    ScmCacheBackend b(cfg, eq, mem, 1);
+
+    // Cold miss: SCM read latency, and the line fills the DRAM cache.
+    Tick missTick = 0;
+    b.readLine(0x40000, [&](const LineData &) { missTick = eq.curTick(); });
+    eq.run();
+    EXPECT_EQ(missTick, Tick(cfg.scmReadCycles));
+    EXPECT_EQ(b.stats().dcacheMisses, 1u);
+    EXPECT_EQ(b.stats().scmReads, 1u);
+    EXPECT_EQ(b.residentLines(), 1u);
+
+    // Re-read: DRAM-cache hit at the (much lower) DRAM latency.
+    const Tick start = eq.curTick();
+    Tick hitTick = 0;
+    b.readLine(0x40000, [&](const LineData &) { hitTick = eq.curTick(); });
+    eq.run();
+    EXPECT_EQ(hitTick - start, Tick(cfg.scmHitCycles));
+    EXPECT_EQ(b.stats().dcacheHits, 1u);
+}
+
+TEST(ScmCacheBackendTest, BackToBackMissesSerializeOnScmChannel)
+{
+    EventQueue eq;
+    MainMemory mem;
+    MemBackendConfig cfg;
+    cfg.kind = MemBackendKind::ScmCache;
+    ScmCacheBackend b(cfg, eq, mem, 1);
+
+    // Two independent misses in the same cycle: latency pipelines,
+    // but the second must wait out the first's SCM channel occupancy.
+    Tick done0 = 0, done1 = 0;
+    b.readLine(0x40000, [&](const LineData &) { done0 = eq.curTick(); });
+    b.readLine(0x80000, [&](const LineData &) { done1 = eq.curTick(); });
+    eq.run();
+    EXPECT_EQ(done0, Tick(cfg.scmReadCycles));
+    EXPECT_EQ(done1, Tick(cfg.scmOccupancy + cfg.scmReadCycles));
+    EXPECT_EQ(b.stats().readStallTicks, Counter(cfg.scmOccupancy));
+}
+
+TEST(ScmCacheBackendTest, DirtyVictimSpillsToScm)
+{
+    EventQueue eq;
+    MainMemory mem;
+    MemBackendConfig cfg;
+    cfg.kind = MemBackendKind::ScmCache;
+    cfg.scmCacheLines = 8;
+    cfg.scmCacheAssoc = 8; // one set: the 9th line must evict
+    ScmCacheBackend b(cfg, eq, mem, 1);
+
+    // LLC writebacks are write-allocate: they dirty the DRAM cache
+    // without touching SCM.
+    for (PhysAddr i = 0; i < 8; ++i)
+        b.writeLine(i * 1024, fullLineMask, LineData{});
+    EXPECT_EQ(b.residentLines(), 8u);
+    EXPECT_EQ(b.dirtyLines(), 8u);
+    EXPECT_EQ(b.stats().scmWrites, 0u);
+
+    // The 9th allocation evicts the LRU dirty line: one SCM spill,
+    // holding the SCM channel for the full write time.
+    b.writeLine(8 * 1024, fullLineMask, LineData{});
+    EXPECT_EQ(b.stats().scmWrites, 1u);
+    EXPECT_EQ(b.residentLines(), 8u);
+    EXPECT_EQ(b.dirtyLines(), 8u);
+
+    // The spilled line is gone (a re-read misses), and the spill's
+    // channel hold delays that SCM read.
+    Tick doneTick = 0;
+    b.readLine(0, [&](const LineData &) { doneTick = eq.curTick(); });
+    eq.run();
+    EXPECT_EQ(b.stats().dcacheMisses, 1u);
+    EXPECT_EQ(doneTick, Tick(cfg.scmWriteCycles + cfg.scmReadCycles));
+}
+
+TEST(ScmCacheBackendTest, SnapshotRoundTripPreservesCacheAndChannels)
+{
+    EventQueue eq;
+    MainMemory mem;
+    MemBackendConfig cfg;
+    cfg.kind = MemBackendKind::ScmCache;
+    cfg.scmCacheLines = 8;
+    cfg.scmCacheAssoc = 2;
+    ScmCacheBackend a(cfg, eq, mem, 1);
+
+    a.writeLine(0x1000, fullLineMask, LineData{});
+    a.readLine(0x2000, [](const LineData &) {});
+    a.readLine(0x1000, [](const LineData &) {}); // hit, bumps LRU
+    eq.run();
+
+    ScmCacheBackend b(cfg, eq, mem, 1);
+    const auto img = snapshotBytes(a);
+    restoreFromBytes(b, img);
+    EXPECT_EQ(b.residentLines(), a.residentLines());
+    EXPECT_EQ(b.dirtyLines(), a.dirtyLines());
+    expectStatsEq(b.stats(), a.stats());
+    EXPECT_EQ(snapshotBytes(b), img) << "restore must be a fixed point";
+
+    // From the restored tags and busy-until clocks, the next access
+    // behaves identically: same hit/miss outcome, same completion.
+    Tick doneA = 0, doneB = 0;
+    a.readLine(0x2000, [&](const LineData &) { doneA = eq.curTick(); });
+    b.readLine(0x2000, [&](const LineData &) { doneB = eq.curTick(); });
+    eq.run();
+    EXPECT_EQ(doneA, doneB);
+    EXPECT_EQ(a.stats().dcacheHits, b.stats().dcacheHits);
+    EXPECT_EQ(snapshotBytes(a), snapshotBytes(b));
+
+    // Geometry mismatch is a structured error, not silent corruption.
+    MemBackendConfig other = cfg;
+    other.scmCacheAssoc = 4;
+    ScmCacheBackend wrong(other, eq, mem, 1);
+    EXPECT_THROW(restoreFromBytes(wrong, img), SnapshotError);
+}
+
+TEST(SnapshotConfigHashTest, CoversBackendKindAndEveryKnob)
+{
+    SystemConfig base = SystemConfig::microbenchmarkDefault();
+    const std::uint64_t h0 = snapshotConfigHash(base);
+
+    SystemConfig kind = base;
+    kind.memBackend.kind = MemBackendKind::SttMram;
+    EXPECT_NE(snapshotConfigHash(kind), h0);
+
+    // Even a knob of an unselected backend folds into the hash: a
+    // checkpoint can never silently restore under a different memory
+    // system.
+    SystemConfig knob = base;
+    knob.memBackend.scmWriteCycles += 1;
+    EXPECT_NE(snapshotConfigHash(knob), h0);
+
+    SystemConfig dram = base;
+    dram.memBackend.dramCycles += 1;
+    EXPECT_NE(snapshotConfigHash(dram), h0);
+}
+
+/** Collects the responses the LLC sends back to the requester. */
+struct RespSink : MemObject
+{
+    std::vector<Msg> got;
+    void receive(const Msg &m) override { got.push_back(m); }
+};
+
+/**
+ * Regression for the accept/serve invariant: a line with a bank
+ * access in flight (accepted, serve pending) must never be chosen as
+ * an eviction victim by a concurrent miss in the same set.  The old
+ * code defensively re-looked-up the line at serve time and refetched
+ * it when gone; now allocLine() skips in-service lines and serve
+ * asserts presence, so the refetch (a 4th fill here) cannot happen.
+ */
+TEST(LlcBankInvariantTest, InServiceLineIsNotAnEvictionVictim)
+{
+    EventQueue eq;
+    MainMemory mem;
+    Mesh mesh(eq, MeshParams{});
+    Fabric fabric(mesh);
+    auto backend = makeMemBackend(MemBackendConfig{}, eq, mem,
+                                  gpuClockPeriod);
+
+    // One set, two ways: the third distinct line must evict.
+    LlcBank::Params p;
+    p.assoc = 2;
+    p.bankBytes = lineBytes * p.assoc;
+    LlcBank bank(eq, fabric, *backend, NodeId(0), p);
+
+    RespSink sink;
+    fabric.registerObject(NodeId(0), Unit::L1, &sink);
+    fabric.registerCore(0, NodeId(0));
+
+    const PhysAddr A = 0x10000, B = 0x10400, C = 0x10800;
+    mem.writeWord(A, 0xa0);
+    mem.writeWord(B, 0xb0);
+    mem.writeWord(C, 0xc0);
+
+    auto read = [](PhysAddr pa) {
+        Msg m;
+        m.type = MsgType::ReadReq;
+        m.requester = 0;
+        m.requesterUnit = Unit::L1;
+        m.linePA = pa;
+        m.mask = fullLineMask;
+        return m;
+    };
+
+    bank.receive(read(A));
+    eq.run();
+    bank.receive(read(B));
+    eq.run();
+    ASSERT_EQ(bank.stats().fills, 2u);
+    // A was served before B: it is the set's LRU line.
+
+    // Accept a hit on A (serve in flight), then a miss on C in the
+    // same tick.  C's allocation must evict B, not the in-service A.
+    bank.receive(read(A));
+    bank.receive(read(C));
+    eq.run();
+
+    EXPECT_EQ(bank.stats().fills, 3u)
+        << "the in-service line was evicted and refetched";
+    EXPECT_EQ(bank.stats().reads, 4u);
+    ASSERT_EQ(sink.got.size(), 4u);
+    for (const Msg &m : sink.got)
+        EXPECT_EQ(m.type, MsgType::ReadResp);
+    EXPECT_EQ(sink.got[2].linePA, A);
+    EXPECT_EQ(sink.got[2].data.w[0], 0xa0u);
+    EXPECT_EQ(sink.got[3].linePA, C);
+    EXPECT_EQ(sink.got[3].data.w[0], 0xc0u);
+}
+
+} // namespace
+} // namespace stashsim

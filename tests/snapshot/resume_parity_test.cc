@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "driver/run.hh"
+#include "mem/backend/mem_backend.hh"
 #include "snapshot/snapshot.hh"
 
 namespace stashsim
@@ -256,6 +257,87 @@ TEST(ResumeParityTest, WorkloadMismatchIsRejectedWithDiagnostic)
         FAIL() << "workload mismatch must be fatal";
     } catch (const std::runtime_error &e) {
         EXPECT_NE(std::string(e.what()).find("workload"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ResumeParityTest, FixedBackendIsTheDefaultSpelledExplicitly)
+{
+    // `--backend fixed` is the seed's memory model made explicit: a
+    // run selecting it must be indistinguishable from a run that
+    // never mentions a backend — under the serial engine and under
+    // --shards 4 alike (the end-to-end CLI analogue is ci.sh's cmp
+    // of the BENCH_fig5.json artifacts).
+    const RunSpec plain = baseSpec();
+    RunSpec fixed = baseSpec();
+    fixed.backend = MemBackendKind::Fixed;
+    RunSpec fixedSharded = baseSpec();
+    fixedSharded.backend = MemBackendKind::Fixed;
+    fixedSharded.shards = 4;
+
+    const RunResult a = runSpec(plain);
+    ASSERT_TRUE(a.validated);
+    EXPECT_EQ(fingerprint(a), fingerprint(runSpec(fixed)));
+    EXPECT_EQ(fingerprint(a), fingerprint(runSpec(fixedSharded)));
+}
+
+TEST(ResumeParityTest, EveryMemBackendRestoresByteIdentical)
+{
+    // Each backend's timing state (write queues, DRAM-cache tags,
+    // channel clocks) rides in the checkpoint: resuming under any
+    // backend must converge to the uninterrupted run's exact end.
+    for (const MemBackendInfo &info : memBackendList()) {
+        const std::string dir =
+            freshDir(std::string("restore_backend_") + info.name);
+        std::vector<std::uint8_t> refImage;
+        RunSpec ref = baseSpec();
+        ref.backend = info.kind;
+        ref.checkpointEveryTicks = 1;
+        ref.checkpointDir = dir;
+        captureEndImage(ref, &refImage);
+        const RunResult full = runSpec(ref);
+        ASSERT_TRUE(full.validated) << info.name;
+
+        const auto ckpts = checkpointsIn(dir);
+        ASSERT_FALSE(ckpts.empty()) << info.name;
+        for (const auto &[tick, path] : ckpts) {
+            std::vector<std::uint8_t> resImage;
+            RunSpec res = baseSpec();
+            res.backend = info.kind;
+            res.restoreFrom = path;
+            captureEndImage(res, &resImage);
+            const RunResult resumed = runSpec(res);
+            EXPECT_EQ(fingerprint(full), fingerprint(resumed))
+                << info.name << ", restored from tick " << tick;
+            EXPECT_EQ(refImage, resImage)
+                << info.name << ", end-state image diverged "
+                << "restoring from tick " << tick;
+        }
+    }
+}
+
+TEST(ResumeParityTest, BackendMismatchIsRejectedWithDiagnostic)
+{
+    // The backend kind folds into the snapshot config hash: an
+    // sttmram checkpoint must not restore under scmcache.
+    const std::string dir = freshDir("restore_backend_mismatch");
+    RunSpec ref = baseSpec();
+    ref.backend = MemBackendKind::SttMram;
+    ref.checkpointEveryTicks = 1;
+    ref.checkpointDir = dir;
+    ASSERT_TRUE(runSpec(ref).validated);
+    const auto ckpts = checkpointsIn(dir);
+    ASSERT_FALSE(ckpts.empty());
+
+    RunSpec res = baseSpec();
+    res.backend = MemBackendKind::ScmCache;
+    res.restoreFrom = ckpts.back().second;
+    try {
+        runSpec(res);
+        FAIL() << "backend mismatch must be fatal";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("configuration hash"),
                   std::string::npos)
             << e.what();
     }

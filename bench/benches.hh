@@ -38,6 +38,7 @@
 #include "driver/run.hh"
 #include "driver/sweep.hh"
 #include "report/json.hh"
+#include "workloads/synthetic/trace_replay.hh"
 
 namespace stashbench
 {
@@ -147,10 +148,22 @@ struct BenchInfo
 const std::vector<BenchInfo> &benchList();
 
 /**
+ * The `--trace-replay FILE` frontend (not in benchList(): it needs a
+ * trace file, not just a name): sweeps @p trace over ScratchGD /
+ * Cache / Stash and returns the stashsim-bench-v1 document for
+ * BENCH_replay.json.  @p source is recorded in the document's
+ * "trace" object.
+ */
+report::JsonValue runReplayBench(const BenchContext &ctx,
+                                 const workloads::TraceData &trace,
+                                 const std::string &source);
+
+/**
  * Machine-readable bench inventory (stashbench --list --json):
- *   schema   "stashsim-benchlist-v1"
- *   benches  [{name, title, description, scales[]}]
- *   backends [{name, description}]   (--backend choices)
+ *   schema    "stashsim-benchlist-v1"
+ *   benches   [{name, title, description, scales[]}]
+ *   workloads [{name, kind, description}] (runnable inventory)
+ *   backends  [{name, description}]   (--backend choices)
  * where scales is empty for scale-independent benches.
  */
 report::JsonValue benchInventoryJson();

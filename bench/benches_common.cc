@@ -27,6 +27,7 @@ report::JsonValue runAblationStashMapSize(const BenchContext &ctx);
 report::JsonValue runAblationTranslationLatency(const BenchContext &ctx);
 report::JsonValue runAblationSparsitySweep(const BenchContext &ctx);
 report::JsonValue runMemBackend(const BenchContext &ctx);
+report::JsonValue runSynth(const BenchContext &ctx);
 
 const std::vector<BenchInfo> &
 benchList()
@@ -79,6 +80,13 @@ benchList()
          "Table 3 applications x 3 memory backends x "
          "stash/scratch/cache",
          runMemBackend},
+        {"synth",
+         "Synthetic traffic: generated mixes, graph gather, "
+         "attention scatter, 2D stencil",
+         "smoke quick full",
+         "6 synthetic workload variants x scratchGD/cache/stash on "
+         "the 15-CU machine",
+         runSynth},
     };
     return benches;
 }
@@ -223,6 +231,19 @@ benchInventoryJson()
         arr.push(std::move(e));
     }
     doc["benches"] = std::move(arr);
+    // The runnable workload inventory (including the synthetic
+    // family and the trace-replay frontend), so wrappers can build
+    // run grids without scraping --list-workloads.
+    report::JsonValue wls = report::JsonValue::array();
+    for (const auto &info :
+         workloads::WorkloadFactory::instance().list()) {
+        report::JsonValue e = report::JsonValue::object();
+        e["name"] = info.name;
+        e["kind"] = info.kindName();
+        e["description"] = info.description;
+        wls.push(std::move(e));
+    }
+    doc["workloads"] = std::move(wls);
     report::JsonValue backends = report::JsonValue::array();
     for (const MemBackendInfo &b : memBackendList()) {
         report::JsonValue e = report::JsonValue::object();

@@ -382,6 +382,44 @@ renderMemBackend(std::ostream &os, const JsonValue &doc)
 }
 
 void
+renderSynth(std::ostream &os, const JsonValue &doc)
+{
+    const RunIndex idx = indexRuns(doc);
+    os << "## Synthetic traffic (`stashbench synth`)\n\n"
+          "Traffic the paper never ran, generated rather than "
+          "ported: a\nparameterized mix of read-only-shared / "
+          "read-write-shared / private\naccesses (`SynthMix`, plus "
+          "RO-heavy and RW-heavy re-parameterizations),\nCSR graph "
+          "gather, attention-style gather/scatter, and a 2D "
+          "stencil.\nNo hand-tuned scratchpad layout exists for "
+          "these, so **Cache is the\nbaseline**: the question is "
+          "what DMA staging (ScratchGD) or the stash\nbuys over "
+          "just caching. Seeded generators (`DESIGN.md` §14) keep "
+          "every\nrun — and every checkpoint/restore of a run — "
+          "byte-deterministic.\n\n";
+
+    os << "### Execution time (normalized to Cache)\n\n";
+    renderNormalizedPanel(os, doc, idx, "gpuCycles", nullptr,
+                          nullptr);
+    os << "\n### Dynamic energy (normalized to Cache)\n\n";
+    renderNormalizedPanel(os, doc, idx, "energy", nullptr, nullptr);
+    os << "\nAt full scale the DMA-staged scratchpad is the "
+          "strongest configuration\nthroughout: these generators "
+          "re-touch each staged word only a few\ntimes, so bulk "
+          "transfer plus cheap scratchpad access amortizes best\n"
+          "(the paper's apps, with deeper reuse, are where the stash "
+          "overtakes\nit). The stash beats plain caching on the "
+          "access mixes and the\nirregular gather — word-granular "
+          "on-demand fills avoid the cache's\nline overfetch — but "
+          "gives back that margin on the dense staged\nkernels "
+          "(attention, stencil), where its serial on-demand miss "
+          "path\ncannot match bulk DMA and leaves it at or slightly "
+          "above cache. An\nexternally recorded trace replays "
+          "through the same three organizations\nwith "
+          "`--trace-replay FILE` (`BENCH_replay.json`).\n\n";
+}
+
+void
 renderStaticTail(std::ostream &os)
 {
     os << "## Deviations and their causes\n\n"
@@ -438,11 +476,12 @@ bool
 renderExperimentsMd(const std::string &dir, std::ostream &os,
                     std::string &err)
 {
-    JsonValue table3, fig5, fig6, memback;
+    JsonValue table3, fig5, fig6, memback, synth;
     if (!loadDoc(dir, "table3", table3, err) ||
         !loadDoc(dir, "fig5", fig5, err) ||
         !loadDoc(dir, "fig6", fig6, err) ||
-        !loadDoc(dir, "memback", memback, err))
+        !loadDoc(dir, "memback", memback, err) ||
+        !loadDoc(dir, "synth", synth, err))
         return false;
 
     os << "# EXPERIMENTS — paper vs. measured\n\n"
@@ -471,6 +510,7 @@ renderExperimentsMd(const std::string &dir, std::ostream &os,
     renderFig6(os, fig6);
     renderAblations(os);
     renderMemBackend(os, memback);
+    renderSynth(os, synth);
     renderStaticTail(os);
     return true;
 }

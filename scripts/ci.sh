@@ -59,13 +59,13 @@ echo "serial and sharded artifacts are byte-identical"
 # serial engine, once under --shards 4 from the same serially-taken
 # checkpoints.
 snapdir="${root}/build/bench-artifacts-snapshot"
-echo "=== checkpoint/restore parity (fig5 serial, ablation_replication --shards 4) ==="
+echo "=== checkpoint/restore parity (fig5 serial; ablation_replication, synth --shards 4) ==="
 rm -rf "${snapdir}"
 mkdir -p "${snapdir}"
 "${root}/build/bench/stashbench" --quick --jobs "${jobs}" \
     --checkpoint-every 1 --out "${snapdir}" \
-    fig5 ablation_replication
-for name in fig5 ablation_replication; do
+    fig5 ablation_replication synth
+for name in fig5 ablation_replication synth; do
     mv "${snapdir}/BENCH_${name}.json" \
        "${snapdir}/BENCH_${name}.ref.json"
     rm "${snapdir}/checkpoints/${name}"/RESULT_*.snap
@@ -74,8 +74,8 @@ done
     --restore "${snapdir}/checkpoints" --out "${snapdir}" fig5
 "${root}/build/bench/stashbench" --quick --jobs "${jobs}" \
     --shards 4 --restore "${snapdir}/checkpoints" \
-    --out "${snapdir}" ablation_replication
-for name in fig5 ablation_replication; do
+    --out "${snapdir}" ablation_replication synth
+for name in fig5 ablation_replication synth; do
     cmp "${snapdir}/BENCH_${name}.ref.json" \
         "${snapdir}/BENCH_${name}.json"
 done
@@ -160,6 +160,38 @@ if "${root}/build/bench/stashbench" --backend bogus fig5 \
 fi
 echo "--backend bogus rejected with a diagnostic"
 
+# Trace frontend leg: record a synthetic workload as a stashtrace-v1
+# file, re-emit it through the parser (the canonical rendering is a
+# parse/write fixed point, so the two files must be byte-identical),
+# then replay it as a bench.  Malformed traces and bad flag
+# combinations must be rejected with exit 2.
+tracedir="${root}/build/bench-artifacts-trace"
+echo "=== stashtrace record -> normalize -> replay round trip ==="
+rm -rf "${tracedir}"
+mkdir -p "${tracedir}"
+"${root}/build/bench/stashbench" --quick \
+    --trace-from SynthMix --trace-record "${tracedir}/synthmix.trace"
+"${root}/build/bench/stashbench" \
+    --trace-replay "${tracedir}/synthmix.trace" \
+    --trace-record "${tracedir}/synthmix.norm.trace"
+cmp "${tracedir}/synthmix.trace" "${tracedir}/synthmix.norm.trace"
+echo "recorded and normalized traces are byte-identical"
+"${root}/build/bench/stashbench" --quick --jobs "${jobs}" \
+    --trace-replay "${tracedir}/synthmix.trace" --out "${tracedir}"
+ls -l "${tracedir}/BENCH_replay.json"
+printf 'not a trace\n' > "${tracedir}/bogus.trace"
+if "${root}/build/bench/stashbench" \
+    --trace-replay "${tracedir}/bogus.trace" >/dev/null 2>&1; then
+    echo "malformed trace should have been rejected" >&2
+    exit 1
+fi
+if "${root}/build/bench/stashbench" --trace-from SynthMix \
+    >/dev/null 2>&1; then
+    echo "--trace-from without --trace-record should be rejected" >&2
+    exit 1
+fi
+echo "malformed trace and bad flag combinations rejected"
+
 # Surface the host-throughput numbers (events/sec per bench and the
 # suite aggregate) directly in the CI log, so every run leaves a
 # measured perf trajectory next to the archived artifact.
@@ -183,4 +215,4 @@ git -C "${root}" diff --exit-code -- EXPERIMENTS.md || {
     exit 1
 }
 
-echo "=== CI passed (plain + ASan/UBSan + TSan + quick benches + parity + checkpoint/restore + farm + backends) ==="
+echo "=== CI passed (plain + ASan/UBSan + TSan + quick benches + parity + checkpoint/restore + farm + backends + trace) ==="

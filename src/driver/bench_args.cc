@@ -18,6 +18,55 @@ needsValue(int i, int argc, const char *flag, std::string &err)
     return false;
 }
 
+/**
+ * Strict whole-token base-10 unsigned parse for @p flag's value.
+ *
+ * strtoul-style parsing silently turned "--shards abc" into 0 (the
+ * auto-tune mode!) and "--jobs 3x" into 3; here every byte must be a
+ * decimal digit and the value must fit @p max, or the parse fails
+ * with a diagnostic naming the flag and the offending token.
+ */
+bool
+parseNumber(const char *flag, const char *text, std::uint64_t max,
+            std::uint64_t &out, std::string &err)
+{
+    if (*text == '\0') {
+        err = std::string(flag) + ": empty value (expected a base-10 "
+              "unsigned integer)";
+        return false;
+    }
+    std::uint64_t v = 0;
+    for (const char *p = text; *p; ++p) {
+        if (*p < '0' || *p > '9') {
+            err = std::string(flag) + ": invalid number '" + text +
+                  "' (expected a base-10 unsigned integer)";
+            return false;
+        }
+        const std::uint64_t d = std::uint64_t(*p - '0');
+        if (v > (max - d) / 10) {
+            err = std::string(flag) + ": value '" + text +
+                  "' is out of range (max " + std::to_string(max) +
+                  ")";
+            return false;
+        }
+        v = v * 10 + d;
+    }
+    out = v;
+    return true;
+}
+
+/** parseNumber() into an unsigned field. */
+bool
+parseUnsigned(const char *flag, const char *text, unsigned &out,
+              std::string &err)
+{
+    std::uint64_t v = 0;
+    if (!parseNumber(flag, text, 0xffff'ffffull, v, err))
+        return false;
+    out = unsigned(v);
+    return true;
+}
+
 } // namespace
 
 bool
@@ -49,12 +98,13 @@ BenchArgs::parse(int argc, char **argv, BenchArgs &out,
                    std::strcmp(a, "-j") == 0) {
             if (!needsValue(i, argc, a, err))
                 return false;
-            out.jobs = unsigned(std::strtoul(argv[++i], nullptr, 10));
+            if (!parseUnsigned(a, argv[++i], out.jobs, err))
+                return false;
         } else if (std::strcmp(a, "--shards") == 0) {
             if (!needsValue(i, argc, a, err))
                 return false;
-            out.shards =
-                unsigned(std::strtoul(argv[++i], nullptr, 10));
+            if (!parseUnsigned(a, argv[++i], out.shards, err))
+                return false;
         } else if (std::strcmp(a, "--backend") == 0) {
             if (!needsValue(i, argc, a, err))
                 return false;
@@ -76,8 +126,10 @@ BenchArgs::parse(int argc, char **argv, BenchArgs &out,
         } else if (std::strcmp(a, "--checkpoint-every") == 0) {
             if (!needsValue(i, argc, a, err))
                 return false;
-            out.checkpointEvery =
-                std::strtoull(argv[++i], nullptr, 10);
+            if (!parseNumber(a, argv[++i],
+                             0xffff'ffff'ffff'ffffull,
+                             out.checkpointEvery, err))
+                return false;
         } else if (std::strcmp(a, "--restore") == 0) {
             if (!needsValue(i, argc, a, err))
                 return false;
@@ -93,8 +145,10 @@ BenchArgs::parse(int argc, char **argv, BenchArgs &out,
         } else if (std::strcmp(a, "--lease-ttl") == 0) {
             if (!needsValue(i, argc, a, err))
                 return false;
-            out.leaseTtlSec =
-                std::strtoull(argv[++i], nullptr, 10);
+            if (!parseNumber(a, argv[++i],
+                             0xffff'ffff'ffff'ffffull,
+                             out.leaseTtlSec, err))
+                return false;
             if (out.leaseTtlSec == 0) {
                 err = "--lease-ttl must be at least 1 second";
                 return false;
@@ -102,12 +156,24 @@ BenchArgs::parse(int argc, char **argv, BenchArgs &out,
         } else if (std::strcmp(a, "--max-attempts") == 0) {
             if (!needsValue(i, argc, a, err))
                 return false;
-            out.maxAttempts =
-                unsigned(std::strtoul(argv[++i], nullptr, 10));
+            if (!parseUnsigned(a, argv[++i], out.maxAttempts, err))
+                return false;
             if (out.maxAttempts == 0) {
                 err = "--max-attempts must be at least 1";
                 return false;
             }
+        } else if (std::strcmp(a, "--trace-replay") == 0) {
+            if (!needsValue(i, argc, a, err))
+                return false;
+            out.traceReplay = argv[++i];
+        } else if (std::strcmp(a, "--trace-record") == 0) {
+            if (!needsValue(i, argc, a, err))
+                return false;
+            out.traceRecord = argv[++i];
+        } else if (std::strcmp(a, "--trace-from") == 0) {
+            if (!needsValue(i, argc, a, err))
+                return false;
+            out.traceFrom = argv[++i];
         } else if (std::strcmp(a, "--json") == 0) {
             out.json = true;
         } else if (std::strcmp(a, "--list") == 0) {
@@ -185,6 +251,20 @@ BenchArgs::usage(const char *prog)
            "  --max-attempts N    attempts per run before FAILED_* "
            "quarantine\n"
            "                      (default 3)\n"
+           "  --trace-replay FILE replay the stashtrace-v1 access "
+           "trace in FILE as a\n"
+           "                      workload across cache / scratchGD / "
+           "stash, writing\n"
+           "                      BENCH_replay.json into --out; with "
+           "--trace-record,\n"
+           "                      just re-emit the normalized trace "
+           "and exit\n"
+           "  --trace-record FILE write a stashtrace-v1 trace to "
+           "FILE\n"
+           "  --trace-from NAME   record workload NAME (built at "
+           "--scale, cache org)\n"
+           "                      into --trace-record FILE instead "
+           "of simulating\n"
            "  --json              with --list, emit the bench "
            "inventory as JSON\n"
            "  --list              list benches and exit\n"

@@ -67,6 +67,20 @@ struct BenchArgs
     std::uint64_t leaseTtlSec = 30;
     /** Attempts per spec before FAILED_* quarantine (farm mode). */
     unsigned maxAttempts = 3;
+    /**
+     * When nonempty, replay this stashtrace-v1 file as a workload
+     * (BENCH_replay.json), or — combined with traceRecord — parse
+     * and re-emit it normalized.
+     */
+    std::string traceReplay;
+    /** When nonempty, write a stashtrace-v1 trace to this path. */
+    std::string traceRecord;
+    /**
+     * When nonempty, record the named factory workload (built at
+     * `scale`, cache organization) into traceRecord instead of
+     * simulating anything.
+     */
+    std::string traceFrom;
     /** --list emits machine-readable JSON instead of the table. */
     bool json = false;
     bool help = false;
@@ -86,6 +100,7 @@ struct BenchArgs
      *   --restore DIR
      *   --farm DIR | --worker-id S | --lease-ttl SECONDS
      *   --max-attempts N
+     *   --trace-replay FILE | --trace-record FILE | --trace-from NAME
      *   --list [--json] | --list-workloads
      *   --render-md FILE
      *   --help | -h

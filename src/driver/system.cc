@@ -391,6 +391,16 @@ System::run(Workload wl, const RunControl &ctl)
     const bool checkpointing = ctl.checkpointEveryTicks > 0;
     const bool restoring = !ctl.restoreFrom.empty();
 
+    // A workload whose warmup covers every phase would never hit the
+    // `p + 1 == warmupPhases` baseline capture below and silently
+    // report raw (unreset) statistics as its measured delta.
+    if (wl.warmupPhases > 0 && wl.warmupPhases >= wl.phases.size()) {
+        fatal("workload '", wl.name, "': warmupPhases (",
+              wl.warmupPhases, ") must be smaller than the phase "
+              "count (", wl.phases.size(), "); an all-warmup run "
+              "never captures its stats baseline");
+    }
+
     RunResult r;
     perf.runBegin();
 
@@ -415,6 +425,11 @@ System::run(Workload wl, const RunControl &ctl)
         baselineCaptured = sr.b();
         readSystemStats(sr, baseline);
         sr.closeSection();
+        if (wl.restoreState && sr.hasSection("workload")) {
+            sr.openSection("workload");
+            wl.restoreState(sr);
+            sr.closeSection();
+        }
         lastCkpt = sr.tick();
         // The restored event/tick counters cover the pre-checkpoint
         // execution too; re-anchor SimPerf so perf.{events,simTicks}
@@ -443,7 +458,7 @@ System::run(Workload wl, const RunControl &ctl)
         }
         if (checkpointing && p + 1 < wl.phases.size() &&
             engine->now() >= lastCkpt + ctl.checkpointEveryTicks) {
-            writeCheckpoint(ctl, wl.name, std::uint32_t(p + 1),
+            writeCheckpoint(ctl, wl, std::uint32_t(p + 1),
                             baselineCaptured, baseline);
             lastCkpt = engine->now();
         }
@@ -455,7 +470,7 @@ System::run(Workload wl, const RunControl &ctl)
             // attempt resumes here instead of at tick 0.
             if (!ctl.checkpointDir.empty() &&
                 engine->now() > lastCkpt) {
-                writeCheckpoint(ctl, wl.name, std::uint32_t(p + 1),
+                writeCheckpoint(ctl, wl, std::uint32_t(p + 1),
                                 baselineCaptured, baseline);
             }
             throw RunInterrupted(wl.name);
@@ -466,6 +481,16 @@ System::run(Workload wl, const RunControl &ctl)
     // is not part of the measured execution (lazily-written stash
     // data would otherwise be charged writebacks the paper's lazy
     // policy precisely avoids).
+    // A warmup workload whose baseline never materialized (possible
+    // only via a snapshot restored past the warmup boundary with a
+    // mismatched phase structure) must not subtract a zero baseline
+    // and present warmup traffic as measured traffic.
+    if (wl.warmupPhases > 0 && !baselineCaptured) {
+        fatal("workload '", wl.name, "': warmup baseline was never "
+              "captured (resumed at phase ", firstPhase, ", warmup "
+              "boundary ", wl.warmupPhases, ", but the snapshot "
+              "carries no baseline)");
+    }
     r.stats = statsSnapshot();
     r.stats.sub(baseline);
     r.energy = energyModel.compute(r.stats);
@@ -839,7 +864,7 @@ System::restoreSnapshot(SnapshotReader &r)
 
 void
 System::writeCheckpoint(const RunControl &ctl,
-                        const std::string &wl_name,
+                        const Workload &wl,
                         std::uint32_t next_phase,
                         bool baseline_captured,
                         const SystemStats &baseline) const
@@ -848,16 +873,23 @@ System::writeCheckpoint(const RunControl &ctl,
     w.configHash = snapshotConfigHash(cfg);
     w.tick = engine->now();
     w.phaseCursor = next_phase;
-    w.workload = wl_name;
+    w.workload = wl.name;
     saveSnapshot(w);
     w.beginSection("run");
     w.u32(next_phase);
     w.b(baseline_captured);
     writeSystemStats(w, baseline);
     w.endSection();
+    // Optional, like the checker/injector sections: present only for
+    // workloads that carry generator state worth pinning.
+    if (wl.snapshotState) {
+        w.beginSection("workload");
+        wl.snapshotState(w);
+        w.endSection();
+    }
 
     const std::string label =
-        ctl.checkpointLabel.empty() ? wl_name : ctl.checkpointLabel;
+        ctl.checkpointLabel.empty() ? wl.name : ctl.checkpointLabel;
     std::string path = ctl.checkpointDir;
     if (!path.empty() && path.back() != '/')
         path += '/';

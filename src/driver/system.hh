@@ -232,7 +232,7 @@ class System
 
     /** Writes one CKPT_<label>@<tick>.snap at the current drain point. */
     void writeCheckpoint(const RunControl &ctl,
-                         const std::string &wl_name,
+                         const Workload &wl,
                          std::uint32_t next_phase,
                          bool baseline_captured,
                          const SystemStats &baseline) const;

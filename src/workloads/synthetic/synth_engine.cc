@@ -1,0 +1,38 @@
+#include "workloads/synthetic/synth_engine.hh"
+
+#include <sstream>
+
+#include "snapshot/snapshot.hh"
+
+namespace stashsim
+{
+namespace workloads
+{
+
+void
+SynthEngine::snapshot(SnapshotWriter &w) const
+{
+    w.u64(_seed);
+    w.u64(_draws);
+    // The standard stream operators are the only portable mt19937_64
+    // state accessors; the decimal rendering is stable for a given
+    // libstdc++, which is all determinism-across-runs needs.
+    std::ostringstream os;
+    os << rng;
+    w.str(os.str());
+}
+
+void
+SynthEngine::restore(SnapshotReader &r)
+{
+    const std::uint64_t seed = r.u64();
+    r.require(seed == _seed,
+              "synthetic engine seed does not match the snapshot");
+    _draws = r.u64();
+    std::istringstream is(r.str());
+    is >> rng;
+    r.require(bool(is), "mt19937_64 state malformed");
+}
+
+} // namespace workloads
+} // namespace stashsim

@@ -3,6 +3,7 @@
 #include "sim/log.hh"
 #include "workloads/apps.hh"
 #include "workloads/microbench.hh"
+#include "workloads/synthetic/synth_workloads.hh"
 
 namespace stashsim
 {
@@ -119,6 +120,7 @@ buildRegistry()
                     return makeApplication(name, scaledAppConfig(p));
                 });
         }
+        registerSyntheticWorkloads(factory);
     }
     return factory;
 }
@@ -171,6 +173,8 @@ WorkloadFactory::defaultConfig(const std::string &name) const
     const WorkloadInfo *info = find(name);
     if (!info)
         fatal("unknown workload: ", name);
+    // Everything but the microbenchmarks runs on the 15-CU
+    // application machine.
     return info->kind == WorkloadInfo::Kind::Microbenchmark
                ? SystemConfig::microbenchmarkDefault()
                : SystemConfig::applicationDefault();

@@ -52,7 +52,9 @@ struct WorkloadInfo
     enum class Kind
     {
         Microbenchmark,
-        Application
+        Application,
+        Synthetic, //!< parameterized traffic generator
+        Replay,    //!< stashtrace replay frontend
     };
 
     std::string name;
@@ -62,8 +64,18 @@ struct WorkloadInfo
     const char *
     kindName() const
     {
-        return kind == Kind::Microbenchmark ? "microbenchmark"
-                                            : "application";
+        switch (kind) {
+          case Kind::Microbenchmark:
+            return "microbenchmark";
+          case Kind::Application:
+            return "application";
+          case Kind::Synthetic:
+            return "synthetic";
+          case Kind::Replay:
+            return "replay";
+          default:
+            return "?";
+        }
     }
 };
 

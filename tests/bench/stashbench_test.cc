@@ -14,6 +14,7 @@
 
 #include "benches.hh"
 #include "mem/backend/mem_backend.hh"
+#include "workloads/workload_factory.hh"
 
 namespace stashbench
 {
@@ -186,6 +187,91 @@ TEST(StashbenchSchemaTest, SimperfCollectorEmitsAggregateDocument)
     EXPECT_GE(totals->find("ticksPerHostSec")->asNumber(), 0);
 }
 
+TEST(StashbenchSchemaTest, SynthDocumentIsValid)
+{
+    const JsonValue doc = runBenchThroughFile("synth");
+    EXPECT_EQ(doc.find("schema")->asString(), "stashsim-bench-v1");
+    EXPECT_EQ(doc.find("bench")->asString(), "synth");
+    // No hand-tuned scratchpad layout exists for generated traffic,
+    // so the synth bench normalizes to Cache, not Scratch.
+    EXPECT_EQ(doc.find("baseline")->asString(), "Cache");
+    ASSERT_NE(doc.find("workloads"), nullptr);
+    ASSERT_EQ(doc.find("workloads")->size(), 6u);
+    ASSERT_NE(doc.find("configs"), nullptr);
+    ASSERT_EQ(doc.find("configs")->size(), 3u);
+
+    const JsonValue *runs = doc.find("runs");
+    ASSERT_NE(runs, nullptr);
+    ASSERT_EQ(runs->size(), 18u);
+    std::size_t with_params = 0;
+    for (std::size_t i = 0; i < runs->size(); ++i) {
+        checkRunObject(runs->at(i));
+        const JsonValue *params = runs->at(i).find("params");
+        if (!params)
+            continue;
+        ++with_params;
+        EXPECT_NE(params->find("roPct"), nullptr);
+        EXPECT_NE(params->find("rwPct"), nullptr);
+    }
+    // The three SynthMix parameterizations x three organizations.
+    EXPECT_EQ(with_params, 9u);
+    EXPECT_TRUE(allRunsValidated(doc));
+
+    for (const char *label :
+         {"stashOverCacheCycles", "scratchGDOverCacheCycles"}) {
+        const JsonValue *ratios = doc.find(label);
+        ASSERT_NE(ratios, nullptr) << label;
+        for (std::size_t i = 0; i < doc.find("workloads")->size();
+             ++i) {
+            const std::string wl =
+                doc.find("workloads")->at(i).asString();
+            ASSERT_NE(ratios->find(wl), nullptr) << wl;
+            EXPECT_GT(ratios->find(wl)->asNumber(), 0) << wl;
+        }
+        ASSERT_NE(ratios->find("average"), nullptr) << label;
+        EXPECT_GT(ratios->find("average")->asNumber(), 0) << label;
+    }
+}
+
+TEST(StashbenchSchemaTest, ReplayDocumentIsValid)
+{
+    workloads::TraceData trace;
+    std::string err;
+    ASSERT_TRUE(workloads::parseTrace(workloads::demoTrace(),
+                                      workloads::TraceLimits{}, trace,
+                                      err))
+        << err;
+
+    BenchContext ctx;
+    ctx.scale = workloads::Scale::Smoke;
+    const JsonValue doc = runReplayBench(ctx, trace, "demo");
+    EXPECT_EQ(doc.find("schema")->asString(), "stashsim-bench-v1");
+    EXPECT_EQ(doc.find("bench")->asString(), "replay");
+    EXPECT_EQ(doc.find("baseline")->asString(), "Cache");
+
+    const JsonValue *meta = doc.find("trace");
+    ASSERT_NE(meta, nullptr);
+    EXPECT_EQ(meta->find("source")->asString(), "demo");
+    EXPECT_EQ(meta->find("records")->asNumber(),
+              double(trace.records()));
+    EXPECT_EQ(meta->find("phases")->asNumber(),
+              double(trace.phases.size()));
+    EXPECT_EQ(meta->find("hash")->asNumber(),
+              double(workloads::traceHash(trace) & 0xffffffffu));
+
+    const JsonValue *runs = doc.find("runs");
+    ASSERT_NE(runs, nullptr);
+    ASSERT_EQ(runs->size(), 3u);
+    for (std::size_t i = 0; i < runs->size(); ++i)
+        checkRunObject(runs->at(i));
+    EXPECT_TRUE(allRunsValidated(doc));
+    ASSERT_NE(doc.find("stashOverCacheCycles"), nullptr);
+    EXPECT_GT(doc.find("stashOverCacheCycles")
+                  ->find("TraceReplay")
+                  ->asNumber(),
+              0);
+}
+
 TEST(StashbenchSchemaTest, BenchListCarriesScalesAndDescriptions)
 {
     for (const BenchInfo &b : benchList()) {
@@ -259,6 +345,24 @@ TEST(StashbenchSchemaTest, InventoryDocumentMatchesBenchList)
     EXPECT_NE(backendNames.count("fixed"), 0u);
     EXPECT_NE(backendNames.count("sttmram"), 0u);
     EXPECT_NE(backendNames.count("scmcache"), 0u);
+
+    // The runnable-workload inventory rides along (additive field,
+    // schema stays v1).
+    const JsonValue *wls = doc.find("workloads");
+    ASSERT_NE(wls, nullptr);
+    ASSERT_TRUE(wls->isArray());
+    ASSERT_EQ(wls->size(),
+              workloads::WorkloadFactory::instance().list().size());
+    std::set<std::string> kinds;
+    for (std::size_t i = 0; i < wls->size(); ++i) {
+        const JsonValue &row = wls->at(i);
+        ASSERT_NE(row.find("name"), nullptr);
+        EXPECT_FALSE(row.find("kind")->asString().empty());
+        EXPECT_FALSE(row.find("description")->asString().empty());
+        kinds.insert(row.find("kind")->asString());
+    }
+    EXPECT_NE(kinds.count("synthetic"), 0u);
+    EXPECT_NE(kinds.count("replay"), 0u);
 }
 
 TEST(StashbenchSchemaTest, SimperfDocumentRecordsEngineShape)
@@ -294,6 +398,31 @@ TEST(StashbenchSchemaTest, SimperfDocumentRecordsEngineShape)
 TEST(StashbenchParityTest, Fig5ArtifactIsByteIdenticalAcrossEngines)
 {
     const BenchInfo *bench = findBench("fig5");
+    ASSERT_NE(bench, nullptr);
+
+    BenchContext serialCtx;
+    serialCtx.scale = workloads::Scale::Smoke;
+    serialCtx.shards = 1;
+    const JsonValue serialDoc = bench->run(serialCtx);
+
+    BenchContext shardedCtx;
+    shardedCtx.scale = workloads::Scale::Smoke;
+    shardedCtx.shards = 4;
+    const JsonValue shardedDoc = bench->run(shardedCtx);
+
+    EXPECT_TRUE(allRunsValidated(serialDoc));
+    EXPECT_TRUE(allRunsValidated(shardedDoc));
+    EXPECT_EQ(serialDoc.dump(), shardedDoc.dump());
+}
+
+/**
+ * The same parity contract for the seeded synthetic generators: their
+ * RNG streams are drawn at build time, so the sharded engine must
+ * reproduce the serial document byte for byte.
+ */
+TEST(StashbenchParityTest, SynthArtifactIsByteIdenticalAcrossEngines)
+{
+    const BenchInfo *bench = findBench("synth");
     ASSERT_NE(bench, nullptr);
 
     BenchContext serialCtx;

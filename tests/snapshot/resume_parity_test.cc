@@ -213,6 +213,70 @@ TEST(ResumeParityTest, VerifyInstrumentsStayArmedAcrossRestore)
     EXPECT_TRUE(r.hasSection("checker"));
 }
 
+TEST(ResumeParityTest, SyntheticRestoreFromEveryCheckpoint)
+{
+    // The synthetic generator carries its own snapshot section (spec
+    // hash + mt19937_64 stream); restoring any checkpoint of a
+    // synthetic run must still converge byte-identically.
+    const std::string dir = freshDir("restore_synth");
+    RunSpec ref;
+    ref.workload = "SynthMix";
+    ref.org = MemOrg::Stash;
+    ref.scale = workloads::Scale::Smoke;
+    ref.checkpointEveryTicks = 1;
+    ref.checkpointDir = dir;
+    std::vector<std::uint8_t> refImage;
+    captureEndImage(ref, &refImage);
+    const RunResult full = runSpec(ref);
+    ASSERT_TRUE(full.validated)
+        << (full.errors.empty() ? "?" : full.errors[0]);
+
+    const auto ckpts = checkpointsIn(dir);
+    ASSERT_FALSE(ckpts.empty());
+    for (const auto &[tick, path] : ckpts) {
+        // The workload section made it into the checkpoint.
+        SnapshotReader sr = SnapshotReader::fromFile(path);
+        EXPECT_TRUE(sr.hasSection("workload")) << path;
+
+        RunSpec res;
+        res.workload = "SynthMix";
+        res.org = MemOrg::Stash;
+        res.scale = workloads::Scale::Smoke;
+        res.restoreFrom = path;
+        std::vector<std::uint8_t> resImage;
+        captureEndImage(res, &resImage);
+        const RunResult resumed = runSpec(res);
+        EXPECT_EQ(fingerprint(full), fingerprint(resumed))
+            << "restored from tick " << tick;
+        EXPECT_EQ(refImage, resImage)
+            << "end-state image diverged restoring from tick "
+            << tick;
+    }
+}
+
+TEST(ResumeParityTest, SyntheticScaleMismatchIsRejected)
+{
+    // A differently-parameterized twin (another scale => another spec
+    // hash) must not resume a synthetic checkpoint.
+    const std::string dir = freshDir("restore_synth_scale");
+    RunSpec ref;
+    ref.workload = "GraphGather";
+    ref.org = MemOrg::Stash;
+    ref.scale = workloads::Scale::Smoke;
+    ref.checkpointEveryTicks = 1;
+    ref.checkpointDir = dir;
+    ASSERT_TRUE(runSpec(ref).validated);
+    const auto ckpts = checkpointsIn(dir);
+    ASSERT_FALSE(ckpts.empty());
+
+    RunSpec res;
+    res.workload = "GraphGather";
+    res.org = MemOrg::Stash;
+    res.scale = workloads::Scale::Quick;
+    res.restoreFrom = ckpts.back().second;
+    EXPECT_THROW(runSpec(res), std::runtime_error);
+}
+
 TEST(ResumeParityTest, ConfigMismatchIsRejectedWithDiagnostic)
 {
     const std::string dir = freshDir("restore_cfg_mismatch");

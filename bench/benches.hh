@@ -63,6 +63,11 @@ struct SimperfCollector
         double hostSeconds = 0;
         /** Queue-shape rollup: peak is a max, the rest are sums. */
         QueueShape shape;
+        /** Engine drain-loop rollup (sums; lanes dropped). */
+        std::uint64_t execNs = 0;
+        std::uint64_t barrierWaitNs = 0;
+        std::uint64_t flushNs = 0;
+        std::uint64_t quanta = 0;
     };
 
     std::vector<BenchTotals> benches; //!< first-use order
@@ -142,6 +147,13 @@ struct BenchInfo
     /** One-line description for --list. */
     const char *desc;
     report::JsonValue (*run)(const BenchContext &);
+    /**
+     * False = explicit-only: the bench runs when named on the command
+     * line but is excluded from the all-bench default selection (the
+     * scaling bench: its artifact records host wall-clock, so it must
+     * not feed the deterministic default artifact set).
+     */
+    bool defaultRun = true;
 };
 
 /** Every bench, in EXPERIMENTS.md order. */

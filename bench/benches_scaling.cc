@@ -1,0 +1,214 @@
+/**
+ * @file
+ * The `scaling` bench: the sharded engine's measured speedup.
+ *
+ * Runs a fixed workload pair (SynthMix and Stencil2D under Stash on
+ * the 15-CU application machine — one regular and one irregular
+ * traffic shape) once per shard count in {1, 2, 4, ..., min(tiles,
+ * hardware threads)}, sequentially so each point owns the host, and
+ * records wall-clock events/sec, quanta/sec, and the per-shard
+ * barrier-wait vs execute split into the stashsim-scaling-v1
+ * document (BENCH_scaling.json).
+ *
+ * This artifact is intentionally host-dependent — wall-clock is the
+ * quantity under test — so the bench is explicit-only
+ * (BenchInfo::defaultRun = false): it never feeds the deterministic
+ * default artifact set or the EXPERIMENTS.md drift check.  The
+ * deterministic counters (events, simTicks, gpuCycles) of every
+ * sharded point must still match the serial point exactly; each
+ * point's "validated" asserts that, so the CLI exit code enforces
+ * the parity contract here too.
+ *
+ * Document schema (stashsim-scaling-v1):
+ *   schema      "stashsim-scaling-v1"
+ *   bench       "scaling"
+ *   scale       "full" | "quick" | "smoke"
+ *   workloads   [names]
+ *   config      MemOrg name
+ *   tiles       mesh nodes (queue shards available)
+ *   hwThreads   host hardware concurrency (host-dependent)
+ *   runs        one per shard count:
+ *                 shards, validated, events, simTicks, hostSeconds,
+ *                 eventsPerSec, quanta, quantaPerSec, speedup
+ *                 (vs shards=1), engine{execNs,barrierWaitNs,
+ *                 flushNs,quanta}, lanes[{shard,execNs,
+ *                 barrierWaitNs}], perWorkload[{workload,events,
+ *                 simTicks,hostSeconds,validated}]
+ */
+
+#include "benches.hh"
+
+#include <algorithm>
+#include <thread>
+
+namespace stashbench
+{
+
+namespace
+{
+
+const char *const kWorkloads[] = {"SynthMix", "Stencil2D"};
+constexpr MemOrg kOrg = MemOrg::Stash;
+
+/** {1, 2, 4, ...} up to and including min(tiles, hw threads). */
+std::vector<unsigned>
+shardCandidates(unsigned tiles)
+{
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    const unsigned maxK = std::max(1u, std::min(tiles, hw));
+    std::vector<unsigned> ks{1};
+    for (unsigned k = 2; k < maxK; k *= 2)
+        ks.push_back(k);
+    if (maxK > 1)
+        ks.push_back(maxK);
+    return ks;
+}
+
+/** The deterministic fingerprint a sharded point must reproduce. */
+struct Reference
+{
+    std::uint64_t events = 0;
+    std::uint64_t simTicks = 0;
+    std::uint64_t gpuCycles = 0;
+};
+
+} // namespace
+
+report::JsonValue
+runScaling(const BenchContext &ctx)
+{
+    RunSpec probe;
+    probe.workload = kWorkloads[0];
+    probe.org = kOrg;
+    const unsigned tiles = resolveRunConfig(probe).numNodes();
+    const std::vector<unsigned> ks = shardCandidates(tiles);
+
+    report::JsonValue doc = report::JsonValue::object();
+    doc["schema"] = "stashsim-scaling-v1";
+    doc["bench"] = "scaling";
+    doc["title"] = findBench("scaling")->title;
+    doc["scale"] = workloads::scaleName(ctx.scale);
+    report::JsonValue names = report::JsonValue::array();
+    for (const char *w : kWorkloads)
+        names.push(w);
+    doc["workloads"] = std::move(names);
+    doc["config"] = memOrgName(kOrg);
+    doc["tiles"] = double(tiles);
+    doc["hwThreads"] =
+        double(std::max(1u, std::thread::hardware_concurrency()));
+
+    std::vector<Reference> refs(std::size(kWorkloads));
+    double serialHostSeconds = 0;
+    std::vector<RunRecord> allRecords;
+
+    report::JsonValue runs = report::JsonValue::array();
+    for (const unsigned k : ks) {
+        report::JsonValue point = report::JsonValue::object();
+        point["shards"] = double(k);
+        bool validated = true;
+        std::uint64_t events = 0, simTicks = 0, quanta = 0;
+        std::uint64_t execNs = 0, barrierNs = 0, flushNs = 0;
+        double hostSeconds = 0;
+        std::vector<ShardLane> lanes;
+        report::JsonValue perWl = report::JsonValue::array();
+
+        for (std::size_t w = 0; w < std::size(kWorkloads); ++w) {
+            if (ctx.stop &&
+                ctx.stop->load(std::memory_order_relaxed))
+                break;
+            RunSpec spec;
+            spec.workload = kWorkloads[w];
+            spec.org = kOrg;
+            spec.scale = ctx.scale;
+            spec.shards = k;
+            spec.backend = ctx.backend;
+            if (ctx.progress) {
+                *ctx.progress << "  scaling: shards=" << k << " "
+                              << spec.label() << "\n";
+            }
+            RunRecord rec{spec, runSpec(spec)};
+            const RunResult &r = rec.result;
+
+            bool ok = r.validated;
+            if (k == 1) {
+                refs[w] = {r.perf.events, r.perf.simTicks,
+                           std::uint64_t(r.gpuCycles)};
+            } else {
+                // The parity contract, re-checked per point: a
+                // sharded run must reproduce the serial run's
+                // deterministic counters exactly.
+                ok = ok && r.perf.events == refs[w].events &&
+                     r.perf.simTicks == refs[w].simTicks &&
+                     std::uint64_t(r.gpuCycles) == refs[w].gpuCycles;
+            }
+            validated = validated && ok;
+
+            events += r.perf.events;
+            simTicks += r.perf.simTicks;
+            hostSeconds += r.perf.hostSeconds;
+            quanta += r.perf.engine.quanta;
+            execNs += r.perf.engine.execNs;
+            barrierNs += r.perf.engine.barrierWaitNs;
+            flushNs += r.perf.engine.flushNs;
+            if (lanes.size() < r.perf.engine.lanes.size())
+                lanes.resize(r.perf.engine.lanes.size());
+            for (std::size_t i = 0;
+                 i < r.perf.engine.lanes.size(); ++i) {
+                lanes[i].execNs += r.perf.engine.lanes[i].execNs;
+                lanes[i].barrierWaitNs +=
+                    r.perf.engine.lanes[i].barrierWaitNs;
+            }
+
+            report::JsonValue e = report::JsonValue::object();
+            e["workload"] = spec.workload;
+            e["events"] = double(r.perf.events);
+            e["simTicks"] = double(r.perf.simTicks);
+            e["hostSeconds"] = r.perf.hostSeconds;
+            e["validated"] = ok;
+            perWl.push(std::move(e));
+            allRecords.push_back(std::move(rec));
+        }
+
+        if (k == 1)
+            serialHostSeconds = hostSeconds;
+        point["validated"] = validated;
+        point["events"] = double(events);
+        point["simTicks"] = double(simTicks);
+        point["hostSeconds"] = hostSeconds;
+        point["eventsPerSec"] =
+            hostSeconds > 0 ? double(events) / hostSeconds : 0.0;
+        point["quanta"] = double(quanta);
+        point["quantaPerSec"] =
+            hostSeconds > 0 ? double(quanta) / hostSeconds : 0.0;
+        point["speedup"] = hostSeconds > 0
+                               ? serialHostSeconds / hostSeconds
+                               : 0.0;
+        report::JsonValue eng = report::JsonValue::object();
+        eng["execNs"] = double(execNs);
+        eng["barrierWaitNs"] = double(barrierNs);
+        eng["flushNs"] = double(flushNs);
+        eng["quanta"] = double(quanta);
+        point["engine"] = std::move(eng);
+        report::JsonValue laneArr = report::JsonValue::array();
+        for (std::size_t i = 0; i < lanes.size(); ++i) {
+            report::JsonValue l = report::JsonValue::object();
+            l["shard"] = double(i);
+            l["execNs"] = double(lanes[i].execNs);
+            l["barrierWaitNs"] = double(lanes[i].barrierWaitNs);
+            laneArr.push(std::move(l));
+        }
+        point["lanes"] = std::move(laneArr);
+        point["perWorkload"] = std::move(perWl);
+        runs.push(std::move(point));
+        if (ctx.stop && ctx.stop->load(std::memory_order_relaxed))
+            break;
+    }
+    doc["runs"] = std::move(runs);
+
+    if (ctx.simperf)
+        ctx.simperf->add("scaling", allRecords);
+    return doc;
+}
+
+} // namespace stashbench

@@ -314,8 +314,13 @@ main(int argc, char **argv)
 
     std::vector<const BenchInfo *> selected;
     if (args.benches.empty()) {
-        for (const BenchInfo &b : benchList())
-            selected.push_back(&b);
+        // Explicit-only benches (scaling: host-dependent artifact)
+        // run only when named, keeping the default artifact set
+        // deterministic.
+        for (const BenchInfo &b : benchList()) {
+            if (b.defaultRun)
+                selected.push_back(&b);
+        }
     } else {
         for (const std::string &name : args.benches) {
             const BenchInfo *b = findBench(name);

@@ -192,6 +192,34 @@ if "${root}/build/bench/stashbench" --trace-from SynthMix \
 fi
 echo "malformed trace and bad flag combinations rejected"
 
+# Scaling leg: measure the sharded engine's real speedup.  The
+# scaling bench is explicit-only (host wall-clock artifact), runs the
+# shard-count ladder sequentially, and self-checks that every sharded
+# point reproduces the serial point's deterministic counters — a
+# non-validated run fails the CLI.  A 1-core host has no ladder to
+# climb (and the quantum overheads would only add noise), so the leg
+# is skipped there with a notice.
+cores="$(nproc 2>/dev/null || echo 1)"
+if [ "${cores}" -le 1 ]; then
+    echo "=== scaling bench: SKIPPED (${cores} hardware thread(s);" \
+         "needs >1 to measure speedup) ==="
+else
+    scaling="${root}/build/bench-artifacts-scaling"
+    echo "=== stashbench --quick scaling (artifacts -> ${scaling}) ==="
+    rm -rf "${scaling}"
+    mkdir -p "${scaling}"
+    "${root}/build/bench/stashbench" --quick --out "${scaling}" \
+        scaling
+    ls -l "${scaling}/BENCH_scaling.json"
+    # And the auto-tune path end to end: --shards 0 picks a count via
+    # the cost model; every run must still validate (the artifact
+    # additionally records each run's autoShards decision).
+    "${root}/build/bench/stashbench" --quick --jobs "${jobs}" \
+        --shards 0 --out "${scaling}" fig5
+    ls -l "${scaling}/BENCH_fig5.json"
+    echo "scaling bench artifact archived"
+fi
+
 # Surface the host-throughput numbers (events/sec per bench and the
 # suite aggregate) directly in the CI log, so every run leaves a
 # measured perf trajectory next to the archived artifact.
@@ -215,4 +243,4 @@ git -C "${root}" diff --exit-code -- EXPERIMENTS.md || {
     exit 1
 }
 
-echo "=== CI passed (plain + ASan/UBSan + TSan + quick benches + parity + checkpoint/restore + farm + backends + trace) ==="
+echo "=== CI passed (plain + ASan/UBSan + TSan + quick benches + parity + checkpoint/restore + farm + backends + trace + scaling) ==="

@@ -194,7 +194,10 @@ struct SystemConfig
      * Intra-run shard worker threads.  1 (default) = serial engine.
      * N > 1 = sharded engine: one event queue per mesh tile, advanced
      * in lock-step quanta by N workers (clamped to numNodes()).
-     * 0 = auto (hardware concurrency, clamped to numNodes()).
+     * 0 = auto: the run starts sharded with one calibration worker,
+     * then the quantum-size-vs-barrier-cost model picks the worker
+     * count from the first drain's counters (DESIGN.md section 16;
+     * serial on single-threaded hosts).
      * Serial and sharded runs produce byte-identical artifacts; see
      * DESIGN.md section 10.  Incompatible with verify.faultInjection.
      */

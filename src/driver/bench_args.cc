@@ -207,8 +207,11 @@ BenchArgs::usage(const char *prog)
            "(default: hardware)\n"
            "  --shards N          intra-run shard threads per run "
            "(default 1 = serial,\n"
-           "                      0 = auto); artifacts are "
-           "byte-identical either way\n"
+           "                      0 = auto-tuned per run by the "
+           "quantum-vs-barrier cost\n"
+           "                      model, DESIGN.md §16); "
+           "artifacts are byte-identical\n"
+           "                      either way\n"
            "  --backend NAME      memory backend for every run: "
            "fixed (default),\n"
            "                      sttmram, or scmcache (see --list "

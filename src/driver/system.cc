@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "sim/log.hh"
+#include "sim/shard_autotune.hh"
 #include "snapshot/snapshot.hh"
 #include "verify/fault_injector.hh"
 #include "verify/protocol_checker.hh"
@@ -32,26 +33,32 @@ meshParamsOf(const SystemConfig &cfg)
 }
 
 unsigned
-resolveShardThreads(const SystemConfig &cfg)
+hostHardwareThreads()
 {
-    unsigned n = cfg.shards;
-    if (n == 0) {
-        n = std::thread::hardware_concurrency();
-        if (n == 0)
-            n = 1;
-    }
-    return std::min(std::max(n, 1u), cfg.numNodes());
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
 }
 
 std::unique_ptr<ShardEngine>
 makeEngine(const SystemConfig &cfg)
 {
     ShardEngine::Options o;
-    o.threads = resolveShardThreads(cfg);
-    // Sharding with one worker would pay quantum overhead for no
-    // concurrency, so a single thread gets the serial single-queue
-    // engine (the byte-identical classic kernel).
-    o.tiles = o.threads > 1 ? cfg.numNodes() : 1;
+    if (cfg.shards == 0) {
+        // Auto-tune: build the sharded topology but start with one
+        // calibration worker; System::autoTuneShards() feeds the
+        // first drain's counters to the cost model and retunes the
+        // pool (DESIGN.md section 16).  A single-threaded host can
+        // never win from sharding, so it gets the serial kernel.
+        o.threads = 1;
+        o.tiles = hostHardwareThreads() > 1 ? cfg.numNodes() : 1;
+    } else {
+        // Sharding with one worker would pay quantum overhead for no
+        // concurrency, so a single thread gets the serial
+        // single-queue engine (the byte-identical classic kernel).
+        o.threads = std::min(std::max(cfg.shards, 1u),
+                             cfg.numNodes());
+        o.tiles = o.threads > 1 ? cfg.numNodes() : 1;
+    }
     o.lookahead = meshParamsOf(cfg).minLatencyTicks();
     return std::make_unique<ShardEngine>(o);
 }
@@ -72,6 +79,7 @@ System::perfSources()
         q.farInserts = engine->farInserts();
         return q;
     };
+    s.engine = [this] { return engine->breakdown(); };
     return s;
 }
 
@@ -84,6 +92,7 @@ System::System(const SystemConfig &cfg, const EnergyParams &energy)
         fatal("more cores than mesh nodes");
     if (cfg.llcBanks != cfg.numNodes())
         fatal("this system places one LLC bank per mesh node");
+    _autoShards = cfg.shards == 0 && sharded();
     if (sharded() && cfg.verify.faultInjection) {
         fatal("fault injection requires the serial engine (shards=1): "
               "injected perturbations schedule onto foreign tile "
@@ -290,6 +299,18 @@ System::registerComponentStats()
     registry.addValue("simperf.farInserts", [this] {
         return double(engine->farInserts());
     });
+    registry.addValue("simperf.quanta", [this] {
+        return double(engine->quantaExecuted());
+    });
+    registry.addValue("simperf.execNs", [this] {
+        return double(engine->breakdown().execNs);
+    });
+    registry.addValue("simperf.barrierWaitNs", [this] {
+        return double(engine->breakdown().barrierWaitNs);
+    });
+    registry.addValue("simperf.flushNs", [this] {
+        return double(engine->breakdown().flushNs);
+    });
 }
 
 System::~System() = default;
@@ -315,6 +336,39 @@ System::drain(const char *what)
     // only moments the DeNovo invariants must hold globally.
     if (_checker)
         _checker->audit(what);
+    if (_autoShards && !_autoTuned)
+        autoTuneShards();
+}
+
+void
+System::autoTuneShards()
+{
+    // Calibration prologue: the engine ran this drain with one
+    // worker, so its exec-time and quantum counters are a clean
+    // single-threaded sample.  A drain that executed no quanta (all
+    // work was controller-staged, or the phase was empty) carries no
+    // signal — keep calibrating through the next drain.
+    const EngineBreakdown b = engine->breakdown();
+    const std::uint64_t events = engine->eventsExecuted();
+    if (b.quanta == 0 || events == 0)
+        return;
+    _autoTuned = true;
+
+    AutoTuneInputs in;
+    in.tiles = engine->numTiles();
+    in.hwThreads = hostHardwareThreads();
+    in.events = events;
+    in.quanta = b.quanta;
+    in.execNs = std::max<std::uint64_t>(1, b.execNs);
+    in.barrierCrossNs = measuredBarrierCrossNs();
+    const AutoTuneDecision d = stashsim::autoTuneShards(in);
+    _autoEventsPerQuantum = d.eventsPerQuantum;
+    engine->setThreads(d.workers);
+    inform("auto-shards: picked ", d.workers, " worker(s) from ",
+           "eventsPerQuantum=", d.eventsPerQuantum,
+           " nsPerEvent=", d.nsPerEvent,
+           " barrierCrossNs=", in.barrierCrossNs,
+           " tiles=", in.tiles, " hwThreads=", in.hwThreads);
 }
 
 void
@@ -518,6 +572,10 @@ System::run(Workload wl, const RunControl &ctl)
     if (!r.errors.empty())
         r.validated = false;
     r.perf = perf.summary();
+    r.shardsUsed = engine->serial() ? 1 : engine->numThreads();
+    r.shardsAutoTuned = _autoShards && _autoTuned;
+    r.autoEventsPerQuantum =
+        r.shardsAutoTuned ? _autoEventsPerQuantum : 0;
     return r;
 }
 

@@ -121,6 +121,12 @@ struct RunResult
      * and stay out of the deterministic artifacts.
      */
     SimPerfSummary perf;
+    /** Shard worker threads the run finished with (1 = serial). */
+    unsigned shardsUsed = 1;
+    /** True when `--shards 0` picked shardsUsed via the cost model. */
+    bool shardsAutoTuned = false;
+    /** Auto-tune's host-independent input (0 unless auto-tuned). */
+    double autoEventsPerQuantum = 0;
 };
 
 /**
@@ -230,6 +236,13 @@ class System
     void runCpuPhase(Phase &phase, std::vector<std::string> *errors);
     void drain(const char *what = "drain");
 
+    /**
+     * `--shards 0`: after the calibration drain (the first drain that
+     * executed quanta single-worker), feeds the engine's counters to
+     * the cost model and retunes the worker pool (DESIGN.md §16).
+     */
+    void autoTuneShards();
+
     /** Writes one CKPT_<label>@<tick>.snap at the current drain point. */
     void writeCheckpoint(const RunControl &ctl,
                          const Workload &wl,
@@ -243,6 +256,12 @@ class System
     SystemConfig cfg;
     EnergyModel energyModel;
     report::StatsRegistry registry;
+
+    /** @{ `--shards 0` auto-tune state (see autoTuneShards()). */
+    bool _autoShards = false; //!< cfg asked for auto and engine is sharded
+    bool _autoTuned = false;  //!< decision already taken this run
+    double _autoEventsPerQuantum = 0;
+    /** @} */
 
     /** Declared before every component: they hold queue references. */
     std::unique_ptr<ShardEngine> engine;

@@ -86,7 +86,10 @@ Fabric::dispatch(NodeId src, NodeId dst, MemObject *target, Msg msg)
         return;
     }
     const Tick t = tileQueues[src]->curTick();
-    staged[src].push_back({t, dst, target, std::move(msg)});
+    Mailbox &box = staged[src];
+    if (!box.entries.empty() && t < box.entries.back().tick)
+        box.ordered = false;
+    box.entries.push_back({t, dst, target, std::move(msg)});
     if (!shardedMode)
         armFlush(t);
 }
@@ -106,20 +109,89 @@ Fabric::flushStaged()
 {
     flushArmedFor = noFlush;
     // Canonical global routing order: (tick, src node, per-src send
-    // order).  Per-src vectors are already tick-ordered (each source
-    // stages in its own execution order), so the sort key is total
-    // and deterministic.  In serial mode every entry shares the
-    // current tick and this reduces to src-major order.
-    flushOrder.clear();
+    // order).  Per-source mailboxes are tick-ordered by construction
+    // (a source's queue time never runs backwards), so the canonical
+    // order falls out of an allocation-free merge — no per-flush sort
+    // of the whole staged set.  Two common shapes skip even the
+    // merge: exactly one source staged (its staging order IS the
+    // canonical order), and all entries sharing one tick (the serial
+    // engine's PriInternal flush runs at the staging tick, so this is
+    // every serial flush; canonical order reduces to src-major).
+    NodeId onlySrc = 0;
+    unsigned nonEmpty = 0;
+    Tick lo = ~Tick{0};
+    Tick hi = 0;
     for (NodeId src = 0; src < staged.size(); ++src) {
-        for (std::uint32_t i = 0; i < staged[src].size(); ++i)
-            flushOrder.emplace_back(staged[src][i].tick, src, i);
+        Mailbox &box = staged[src];
+        if (box.entries.empty())
+            continue;
+        if (!box.ordered) {
+            // Defensive fallback; not hit by any current send path.
+            // stable_sort preserves staging order within a tick, so
+            // the canonical (tick, src, per-src order) key survives.
+            std::stable_sort(box.entries.begin(), box.entries.end(),
+                             [](const Staged &a, const Staged &b) {
+                                 return a.tick < b.tick;
+                             });
+            box.ordered = true;
+            ++_flushResorted;
+        }
+        ++nonEmpty;
+        onlySrc = src;
+        lo = std::min(lo, box.entries.front().tick);
+        hi = std::max(hi, box.entries.back().tick);
     }
-    std::sort(flushOrder.begin(), flushOrder.end());
-    for (const auto &[tick, src, idx] : flushOrder)
-        deliverStaged(src, staged[src][idx]);
-    for (auto &v : staged)
-        v.clear();
+    if (nonEmpty == 0)
+        return;
+    ++_flushes;
+
+    if (nonEmpty == 1) {
+        ++_flushSingleSource;
+        Mailbox &box = staged[onlySrc];
+        for (Staged &e : box.entries)
+            deliverStaged(onlySrc, e);
+        box.entries.clear();
+        return;
+    }
+
+    if (lo == hi) {
+        ++_flushUniformTick;
+        for (NodeId src = 0; src < staged.size(); ++src) {
+            Mailbox &box = staged[src];
+            for (Staged &e : box.entries)
+                deliverStaged(src, e);
+            box.entries.clear();
+        }
+        return;
+    }
+
+    // General case: k-way cursor merge keyed on (tick, src).  The
+    // source count is the mesh size (16), so a linear min-scan per
+    // delivery beats heap bookkeeping and allocates nothing.
+    ++_flushMerged;
+    if (cursors.size() < staged.size())
+        cursors.resize(staged.size());
+    std::fill(cursors.begin(), cursors.end(), 0);
+    for (;;) {
+        NodeId best = NodeId(~0u);
+        Tick bestTick = ~Tick{0};
+        for (NodeId src = 0; src < staged.size(); ++src) {
+            const Mailbox &box = staged[src];
+            if (cursors[src] >= box.entries.size())
+                continue;
+            const Tick t = box.entries[cursors[src]].tick;
+            if (best == NodeId(~0u) || t < bestTick) {
+                best = src;
+                bestTick = t;
+            }
+        }
+        if (best == NodeId(~0u))
+            break;
+        deliverStaged(best, staged[best].entries[cursors[best]]);
+        ++cursors[best];
+    }
+    for (auto &box : staged)
+        box.entries.clear();
 }
 
 void
@@ -170,7 +242,7 @@ bool
 Fabric::stagedEmpty() const
 {
     for (const auto &box : staged)
-        if (!box.empty())
+        if (!box.entries.empty())
             return false;
     return true;
 }

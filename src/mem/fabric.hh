@@ -133,6 +133,17 @@ class Fabric
     /** True when no staged message awaits a flush (drain invariant). */
     bool stagedEmpty() const;
 
+    /** @{ Flush-path counters (tests + perf triage).  A flush with
+     * nothing staged counts in none of them; the three path counters
+     * partition flushCount(). */
+    std::uint64_t flushCount() const { return _flushes; }
+    std::uint64_t flushSingleSource() const { return _flushSingleSource; }
+    std::uint64_t flushUniformTick() const { return _flushUniformTick; }
+    std::uint64_t flushMerged() const { return _flushMerged; }
+    /** Defensive fallback: per-source ticks arrived out of order. */
+    std::uint64_t flushResorted() const { return _flushResorted; }
+    /** @} */
+
     /**
      * Serializes the sent/delivered counters.  Structural state
      * (object registrations, bound queues) is rebuilt by constructing
@@ -168,16 +179,38 @@ class Fabric
     std::map<std::pair<NodeId, unsigned>, MemObject *> objects;
     std::vector<NodeId> coreNodes;
 
+    /**
+     * One source node's staging arena.  The entries vector is a bump
+     * arena in the allocator sense: cleared (not deallocated) at
+     * every flush, so after warm-up a quantum's staging does no heap
+     * allocation at all — messages bump-append into retained
+     * capacity.  `ordered` tracks whether ticks are non-decreasing in
+     * staging order; a source's queue time never runs backwards, so
+     * it stays true in practice and flushStaged() can merge the
+     * mailboxes without sorting (DESIGN.md section 16).
+     */
+    struct Mailbox
+    {
+        std::vector<Staged> entries;
+        bool ordered = true;
+    };
+
     /** Empty until bindQueues(): immediate (legacy) send path. */
     std::vector<EventQueue *> tileQueues;
     bool shardedMode = false;
-    std::vector<std::vector<Staged>> staged; //!< per source node
+    std::vector<Mailbox> staged; //!< per source node
 
     static constexpr Tick noFlush = ~Tick{0};
     Tick flushArmedFor = noFlush;
 
-    /** Canonical routing order scratch: (tick, src, per-src index). */
-    std::vector<std::tuple<Tick, NodeId, std::uint32_t>> flushOrder;
+    /** Merge scratch (one cursor per source); capacity retained. */
+    std::vector<std::size_t> cursors;
+
+    std::uint64_t _flushes = 0;
+    std::uint64_t _flushSingleSource = 0;
+    std::uint64_t _flushUniformTick = 0;
+    std::uint64_t _flushMerged = 0;
+    std::uint64_t _flushResorted = 0;
 
     FaultInjector *injector = nullptr;
     DropFilter dropFilter;

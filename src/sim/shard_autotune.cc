@@ -1,0 +1,84 @@
+#include "sim/shard_autotune.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <thread>
+
+#include "sim/shard_engine.hh"
+
+namespace stashsim
+{
+
+AutoTuneDecision
+autoTuneShards(const AutoTuneInputs &in)
+{
+    AutoTuneDecision d;
+    const unsigned maxK =
+        std::max(1u, std::min(in.tiles, in.hwThreads));
+    if (in.events == 0 || in.quanta == 0 || maxK == 1)
+        return d; // no signal, or nothing to parallelize: serial
+
+    d.eventsPerQuantum = double(in.events) / double(in.quanta);
+    d.nsPerEvent = double(in.execNs) / double(in.events);
+    const double work = d.eventsPerQuantum * d.nsPerEvent;
+    const double b = double(in.barrierCrossNs);
+
+    std::vector<unsigned> ks;
+    for (unsigned k = 1; k < maxK; k *= 2)
+        ks.push_back(k);
+    ks.push_back(maxK);
+
+    double t1 = 0;
+    double bestT = std::numeric_limits<double>::infinity();
+    unsigned best = 1;
+    for (unsigned k : ks) {
+        const double t = work / double(k) + b * double(k);
+        d.candidates.push_back({k, t});
+        if (k == 1)
+            t1 = t;
+        // Strict <: ties go to the smaller (earlier) candidate.
+        if (t < bestT) {
+            bestT = t;
+            best = k;
+        }
+    }
+    // Require a real win over serial before paying quantum overheads
+    // the model cannot see (per-quantum queue bookkeeping, flush).
+    if (best != 1 && bestT > 0.9 * t1)
+        best = 1;
+    d.workers = best;
+    return d;
+}
+
+std::uint64_t
+measuredBarrierCrossNs()
+{
+    static const std::uint64_t ns = [] {
+        if (std::thread::hardware_concurrency() <= 1) {
+            // A lone hardware thread serializes the ping through the
+            // scheduler; the measurement would be pure context-switch
+            // cost.  Auto-tune never picks k>1 here anyway — return a
+            // conservative constant instead of measuring.
+            return std::uint64_t{100000};
+        }
+        constexpr int crossings = 4096;
+        QuantumBarrier barrier(2);
+        const auto t0 = std::chrono::steady_clock::now();
+        std::thread peer([&barrier] {
+            for (int i = 0; i < crossings; ++i)
+                barrier.arriveAndWait([] {});
+        });
+        for (int i = 0; i < crossings; ++i)
+            barrier.arriveAndWait([] {});
+        peer.join();
+        const auto dt = std::chrono::steady_clock::now() - t0;
+        const std::uint64_t total = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                .count());
+        return std::max<std::uint64_t>(1, total / crossings);
+    }();
+    return ns;
+}
+
+} // namespace stashsim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * `--shards 0` auto-tune: picks the worker count for a sharded run
+ * from a quantum-size-vs-barrier-cost model.
+ *
+ * The sharded engine's speedup is governed by one ratio: how much
+ * event work a quantum holds versus what a barrier crossing costs.
+ * With E events per quantum at c host-ns each, k workers spend about
+ *
+ *     T(k) = E*c/k + b*k        ns per quantum,
+ *
+ * where b is the measured per-party cost of one QuantumBarrier
+ * crossing (arrival contention and release wakeups both scale with
+ * the party count, hence the b*k term).  autoTuneShards() evaluates
+ * T(k) over the power-of-two candidates up to min(tiles, hardware
+ * threads) and returns the smallest k minimizing it — requiring at
+ * least a 10% win over k=1 so noise never flips a serial-friendly
+ * workload into paying quantum overheads the model cannot see.
+ *
+ * E and c come from a calibration prologue: the run's first drain
+ * executes with one worker, then System feeds the engine's event,
+ * quantum, and exec-time counters here.  E (events per quantum) is
+ * host-independent, so the decision is deterministic given the same
+ * measured b and c — and b is measured once per process
+ * (measuredBarrierCrossNs()), so every run in a sweep sees the same
+ * inputs.  See DESIGN.md section 16.
+ */
+
+#ifndef STASHSIM_SIM_SHARD_AUTOTUNE_HH
+#define STASHSIM_SIM_SHARD_AUTOTUNE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace stashsim
+{
+
+/** Model inputs; see the file comment for the cost model. */
+struct AutoTuneInputs
+{
+    unsigned tiles = 1;     //!< queue shards available (mesh nodes)
+    unsigned hwThreads = 1; //!< host hardware concurrency
+    std::uint64_t events = 0; //!< events in the calibration window
+    std::uint64_t quanta = 0; //!< barriers crossed in the window
+    std::uint64_t execNs = 0; //!< host ns executing those events
+    /** Measured cost of one barrier crossing, per party. */
+    std::uint64_t barrierCrossNs = 0;
+};
+
+/** One evaluated candidate: predicted ns per quantum at k workers. */
+struct AutoTuneCandidate
+{
+    unsigned workers = 1;
+    double nsPerQuantum = 0;
+};
+
+struct AutoTuneDecision
+{
+    unsigned workers = 1;
+    double eventsPerQuantum = 0; //!< E: host-independent
+    double nsPerEvent = 0;       //!< c: measured
+    std::vector<AutoTuneCandidate> candidates;
+};
+
+/**
+ * Picks the worker count.  Pure function of its inputs — the same
+ * inputs always yield the same decision (pinned by tests).  No
+ * signal (zero events or quanta) or a single-threaded host yields
+ * workers=1.
+ */
+AutoTuneDecision autoTuneShards(const AutoTuneInputs &in);
+
+/**
+ * Host cost of one QuantumBarrier crossing per party, measured once
+ * per process with a two-party ping microbenchmark and cached, so
+ * every run in a sweep tunes from identical inputs.
+ */
+std::uint64_t measuredBarrierCrossNs();
+
+} // namespace stashsim
+
+#endif // STASHSIM_SIM_SHARD_AUTOTUNE_HH

@@ -1,12 +1,28 @@
 #include "sim/shard_engine.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 
 #include "sim/log.hh"
 
 namespace stashsim
 {
+
+namespace
+{
+
+using SteadyClock = std::chrono::steady_clock;
+
+std::uint64_t
+elapsedNs(SteadyClock::time_point from, SteadyClock::time_point to)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+            .count());
+}
+
+} // namespace
 
 ShardEngine::ShardEngine(const Options &o)
     : opts(o), barrier(std::max(1u, std::min(o.threads, o.tiles)))
@@ -21,6 +37,17 @@ ShardEngine::ShardEngine(const Options &o)
     queues.reserve(opts.tiles);
     for (unsigned i = 0; i < opts.tiles; ++i)
         queues.push_back(std::make_unique<EventQueue>());
+    lanes.resize(opts.tiles);
+}
+
+void
+ShardEngine::setThreads(unsigned n)
+{
+    n = std::max(1u, std::min(n, opts.tiles));
+    if (n == opts.threads)
+        return;
+    opts.threads = n;
+    barrier.reset(n);
 }
 
 std::uint64_t
@@ -77,6 +104,29 @@ ShardEngine::farInserts() const
     return n;
 }
 
+EngineBreakdown
+ShardEngine::breakdown() const
+{
+    EngineBreakdown b;
+    b.flushNs = _flushNs;
+    b.quanta = _quanta;
+    // Report the lanes that ever did work (a retune may have shrunk
+    // the pool below a lane that already accumulated time), and at
+    // least the current pool so callers can label every live worker.
+    std::size_t live = opts.threads;
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        if (lanes[i].execNs || lanes[i].barrierWaitNs)
+            live = std::max(live, i + 1);
+    }
+    b.lanes.reserve(live);
+    for (std::size_t i = 0; i < live; ++i) {
+        b.lanes.push_back({lanes[i].execNs, lanes[i].barrierWaitNs});
+        b.execNs += lanes[i].execNs;
+        b.barrierWaitNs += lanes[i].barrierWaitNs;
+    }
+    return b;
+}
+
 void
 ShardEngine::computeNextQuantum()
 {
@@ -95,16 +145,18 @@ ShardEngine::computeNextQuantum()
 }
 
 void
-ShardEngine::onBarrier(const FlushFn &flush, const BarrierHook &hook)
+ShardEngine::onBarrier()
 {
     if (errorFlag.load(std::memory_order_relaxed)) {
         done = true;
         return;
     }
     try {
-        flush();
-        if (hook)
-            hook(qEnd);
+        const auto f0 = SteadyClock::now();
+        (*curFlush)();
+        _flushNs += elapsedNs(f0, SteadyClock::now());
+        if (*curHook)
+            (*curHook)(qEnd);
         if (totalPending() == 0)
             done = true;
         else
@@ -116,9 +168,11 @@ ShardEngine::onBarrier(const FlushFn &flush, const BarrierHook &hook)
 }
 
 void
-ShardEngine::workerLoop(unsigned w, const FlushFn &flush,
-                        const BarrierHook &hook)
+ShardEngine::workerLoop(unsigned w)
 {
+    std::uint64_t execNs = 0;
+    std::uint64_t waitNs = 0;
+    auto t0 = SteadyClock::now();
     while (!done) {
         if (!errorFlag.load(std::memory_order_relaxed)) {
             try {
@@ -131,8 +185,19 @@ ShardEngine::workerLoop(unsigned w, const FlushFn &flush,
                 errorFlag.store(true, std::memory_order_relaxed);
             }
         }
-        barrier.arriveAndWait([&] { onBarrier(flush, hook); });
+        const auto t1 = SteadyClock::now();
+        barrier.arriveAndWait([this] { onBarrier(); });
+        const auto t2 = SteadyClock::now();
+        execNs += elapsedNs(t0, t1);
+        waitNs += elapsedNs(t1, t2);
+        t0 = t2;
     }
+    // Fold into the shared lane only once, after the loop: the
+    // controller reads lanes after join(), so the thread join is the
+    // only synchronization needed and the hot loop touches no shared
+    // cache line.
+    lanes[w].execNs += execNs;
+    lanes[w].barrierWaitNs += waitNs;
 }
 
 void
@@ -144,7 +209,9 @@ ShardEngine::drain(const FlushFn &flush, const BarrierHook &hook)
         // realignment matters here too: a trailing internal event (a
         // watchdog poll) may have carried curTick past the last model
         // event, and both engines must report the same "now".
+        const auto t0 = SteadyClock::now();
         queues[0]->run();
+        lanes[0].execNs += elapsedNs(t0, SteadyClock::now());
         normalizeTimes();
         return;
     }
@@ -161,17 +228,19 @@ ShardEngine::drain(const FlushFn &flush, const BarrierHook &hook)
     errorFlag.store(false, std::memory_order_relaxed);
     controlError = nullptr;
     workerErrors.assign(opts.threads, nullptr);
+    curFlush = &flush;
+    curHook = &hook;
     computeNextQuantum();
 
     std::vector<std::thread> pool;
     pool.reserve(opts.threads - 1);
-    for (unsigned w = 1; w < opts.threads; ++w) {
-        pool.emplace_back(
-            [this, w, &flush, &hook] { workerLoop(w, flush, hook); });
-    }
-    workerLoop(0, flush, hook);
+    for (unsigned w = 1; w < opts.threads; ++w)
+        pool.emplace_back([this, w] { workerLoop(w); });
+    workerLoop(0);
     for (std::thread &t : pool)
         t.join();
+    curFlush = nullptr;
+    curHook = nullptr;
 
     normalizeTimes();
 

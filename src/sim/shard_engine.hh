@@ -13,7 +13,8 @@
  * worker — alone, with every other worker parked — flushes the
  * Fabric's cross-tile mailboxes in canonical order and picks the next
  * quantum.  See DESIGN.md section 10 for why this preserves the
- * serial determinism contract bit-for-bit.
+ * serial determinism contract bit-for-bit, and section 16 for the
+ * per-quantum hot-path and wall-clock accounting described below.
  *
  * With one tile the engine degenerates to the serial kernel: drain()
  * is a single unbounded run() on the one queue and no barrier or
@@ -29,6 +30,7 @@
 #include <functional>
 #include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -47,25 +49,30 @@ namespace stashsim
  * then block on the generation word (futex-backed atomic wait), which
  * keeps the barrier correct and cheap even on a single hardware
  * thread.
+ *
+ * arriveAndWait() is templated on the completion callable so the
+ * per-quantum path never materializes a std::function: the engine
+ * passes a captureless-or-one-pointer lambda and the call inlines.
  */
 class QuantumBarrier
 {
   public:
-    explicit QuantumBarrier(unsigned parties) : parties(parties) {}
+    explicit QuantumBarrier(unsigned parties) : _parties(parties) {}
 
     /**
      * Arrives; the last arriver runs @p on_last (must not throw),
      * then everyone proceeds.  Writes made by @p on_last
      * happen-before every waiter's return.
      */
+    template <typename OnLast>
     void
-    arriveAndWait(const std::function<void()> &on_last)
+    arriveAndWait(OnLast &&on_last)
     {
         const std::uint64_t gen =
             generation.load(std::memory_order_acquire);
         if (arrived.fetch_add(1, std::memory_order_acq_rel) + 1 ==
-            parties) {
-            on_last();
+            _parties) {
+            std::forward<OnLast>(on_last)();
             arrived.store(0, std::memory_order_relaxed);
             generation.fetch_add(1, std::memory_order_release);
             generation.notify_all();
@@ -81,10 +88,49 @@ class QuantumBarrier
         }
     }
 
+    /**
+     * Changes the party count.  Legal only while no thread is inside
+     * arriveAndWait() — i.e. between drains; the engine's
+     * setThreads() is the only caller.
+     */
+    void
+    reset(unsigned parties)
+    {
+        _parties = parties;
+        arrived.store(0, std::memory_order_relaxed);
+    }
+
+    unsigned parties() const { return _parties; }
+
   private:
-    const unsigned parties;
+    unsigned _parties;
     std::atomic<unsigned> arrived{0};
     std::atomic<std::uint64_t> generation{0};
+};
+
+/** One worker's host-time split of the drain loop (cumulative ns). */
+struct ShardLane
+{
+    std::uint64_t execNs = 0;        //!< inside EventQueue::run
+    std::uint64_t barrierWaitNs = 0; //!< arrival to barrier release
+};
+
+/**
+ * Host wall-clock breakdown of the engine's drain loop, cumulative
+ * over the engine's lifetime.  Serial engines report execNs only
+ * (there is no barrier, and the Fabric's event-driven flushes ride
+ * inside execNs).  For the last arriver at each barrier the
+ * flush/hook time is part of its barrierWaitNs lane; flushNs reports
+ * the flush alone, measured separately, so it is a subset of the
+ * lanes' barrier-wait total, not an addition to it.
+ */
+struct EngineBreakdown
+{
+    std::uint64_t execNs = 0;        //!< sum over lanes
+    std::uint64_t barrierWaitNs = 0; //!< sum over lanes
+    std::uint64_t flushNs = 0;       //!< inside the barrier flush fn
+    std::uint64_t quanta = 0;        //!< barriers crossed
+    std::vector<ShardLane> lanes;    //!< per-worker split
 };
 
 /**
@@ -114,6 +160,14 @@ class ShardEngine
     unsigned numTiles() const { return opts.tiles; }
     unsigned numThreads() const { return opts.threads; }
     Tick lookahead() const { return opts.lookahead; }
+
+    /**
+     * Retunes the worker count for subsequent drains (the --shards 0
+     * auto-tuner's knob).  Clamped to [1, tiles]; legal only between
+     * drains.  The tile partition and every queue are untouched, so
+     * the simulated outcome is unchanged — only the worker pool size.
+     */
+    void setThreads(unsigned n);
 
     /** The queue tile @p tile's components schedule on. */
     EventQueue &queue(unsigned tile) { return *queues[tile]; }
@@ -150,10 +204,12 @@ class ShardEngine
     /** Quantum barriers crossed over the engine's lifetime. */
     std::uint64_t quantaExecuted() const { return _quanta; }
 
+    /** Cumulative wall-clock split of every drain so far. */
+    EngineBreakdown breakdown() const;
+
   private:
-    void workerLoop(unsigned w, const FlushFn &flush,
-                    const BarrierHook &hook);
-    void onBarrier(const FlushFn &flush, const BarrierHook &hook);
+    void workerLoop(unsigned w);
+    void onBarrier();
     void computeNextQuantum();
     void normalizeTimes();
 
@@ -171,11 +227,35 @@ class ShardEngine
     Tick qEnd = 0;
     bool done = false;
 
+    /**
+     * The current drain's flush/hook, captured once at drain() entry
+     * so the per-quantum barrier lambda carries a single `this`
+     * pointer — no std::function is constructed per arrival.  Same
+     * publication rule as qEnd: written before workers start.
+     */
+    const FlushFn *curFlush = nullptr;
+    const BarrierHook *curHook = nullptr;
+
     std::atomic<bool> errorFlag{false};
     std::vector<std::exception_ptr> workerErrors;
     std::exception_ptr controlError;
 
     std::uint64_t _quanta = 0;
+    std::uint64_t _flushNs = 0; //!< barrier-context flush time
+
+    /**
+     * Per-worker wall-clock lanes, cache-line padded, sized one per
+     * tile (the max worker count).  Each worker accumulates into
+     * locals and folds into its lane right before workerLoop returns;
+     * the controller reads only after join(), so no synchronization
+     * beyond the thread join is needed.
+     */
+    struct alignas(64) PaddedLane
+    {
+        std::uint64_t execNs = 0;
+        std::uint64_t barrierWaitNs = 0;
+    };
+    std::vector<PaddedLane> lanes;
 };
 
 } // namespace stashsim

@@ -20,6 +20,7 @@ SimPerf::SimPerf(const EventQueue &eq)
                                 eq.poolChunksAllocated(),
                                 eq.wheelInserts(), eq.farInserts()};
           },
+          nullptr, // no engine breakdown for a bare queue
       })
 {
 }
@@ -76,6 +77,8 @@ SimPerf::summary() const
     s.hostSeconds = hostSecondsNow();
     if (src.shape)
         s.shape = src.shape();
+    if (src.engine)
+        s.engine = src.engine();
     s.phases = phases;
     return s;
 }

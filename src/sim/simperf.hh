@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/shard_engine.hh"
 #include "sim/types.hh"
 
 namespace stashsim
@@ -68,6 +69,10 @@ struct SimPerfSummary
     Tick simTicks = 0;        //!< simulated ticks covered by the run
     double hostSeconds = 0;   //!< host wall-clock of the whole run
     QueueShape shape;         //!< queue-shape counters at summary time
+    /** Engine drain-loop wall-clock split (exec vs barrier vs flush,
+     * per-shard lanes); zero-valued for serial engines except
+     * execNs.  Host timings, so BENCH_simperf.json only. */
+    EngineBreakdown engine;
     std::vector<SimPerfPhase> phases; //!< first-seen name order
 
     double
@@ -95,6 +100,7 @@ class SimPerf : public PhaseListener
         std::function<std::uint64_t()> events;
         std::function<Tick()> tick;
         std::function<QueueShape()> shape; //!< may be null
+        std::function<EngineBreakdown()> engine; //!< may be null
     };
 
     explicit SimPerf(Sources sources);

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -438,6 +439,94 @@ TEST(StashbenchParityTest, SynthArtifactIsByteIdenticalAcrossEngines)
     EXPECT_TRUE(allRunsValidated(serialDoc));
     EXPECT_TRUE(allRunsValidated(shardedDoc));
     EXPECT_EQ(serialDoc.dump(), shardedDoc.dump());
+}
+
+/**
+ * The scaling bench's document: its own schema (stashsim-scaling-v1),
+ * one run per shard-count candidate {1, 2, 4, ..., min(tiles, hw)},
+ * and the parity contract re-checked per point ("validated" includes
+ * the sharded-counters-match-serial comparison).  Wall-clock fields
+ * are host-dependent, so only their presence and signs are asserted.
+ */
+TEST(StashbenchSchemaTest, ScalingDocumentIsValid)
+{
+    const JsonValue doc = runBenchThroughFile("scaling");
+    EXPECT_EQ(doc.find("schema")->asString(), "stashsim-scaling-v1");
+    EXPECT_EQ(doc.find("bench")->asString(), "scaling");
+    EXPECT_EQ(doc.find("scale")->asString(), "smoke");
+    EXPECT_EQ(doc.find("config")->asString(), "Stash");
+    ASSERT_NE(doc.find("workloads"), nullptr);
+    EXPECT_EQ(doc.find("workloads")->size(), 2u);
+    const double tiles = doc.find("tiles")->asNumber();
+    EXPECT_GT(tiles, 1);
+    const double hw = doc.find("hwThreads")->asNumber();
+    EXPECT_GE(hw, 1);
+
+    // Expected candidate count: {1} plus powers of two up to and
+    // including min(tiles, hw) when that exceeds 1.
+    const unsigned maxK =
+        unsigned(std::min(tiles, hw) < 1 ? 1 : std::min(tiles, hw));
+    std::size_t expect = 1;
+    for (unsigned k = 2; k < maxK; k *= 2)
+        ++expect;
+    if (maxK > 1)
+        ++expect;
+
+    const JsonValue *runs = doc.find("runs");
+    ASSERT_NE(runs, nullptr);
+    ASSERT_TRUE(runs->isArray());
+    ASSERT_EQ(runs->size(), expect);
+    for (std::size_t i = 0; i < runs->size(); ++i) {
+        const JsonValue &point = runs->at(i);
+        ASSERT_NE(point.find("shards"), nullptr);
+        EXPECT_TRUE(point.find("validated")->asBool())
+            << "shards=" << point.find("shards")->asNumber();
+        EXPECT_GT(point.find("events")->asNumber(), 0);
+        EXPECT_GT(point.find("simTicks")->asNumber(), 0);
+        EXPECT_GT(point.find("hostSeconds")->asNumber(), 0);
+        EXPECT_GT(point.find("eventsPerSec")->asNumber(), 0);
+        ASSERT_NE(point.find("quanta"), nullptr);
+        ASSERT_NE(point.find("quantaPerSec"), nullptr);
+        EXPECT_GT(point.find("speedup")->asNumber(), 0);
+
+        const JsonValue *eng = point.find("engine");
+        ASSERT_NE(eng, nullptr);
+        for (const char *f :
+             {"execNs", "barrierWaitNs", "flushNs", "quanta"})
+            ASSERT_NE(eng->find(f), nullptr) << f;
+        ASSERT_NE(point.find("lanes"), nullptr);
+        EXPECT_TRUE(point.find("lanes")->isArray());
+
+        const JsonValue *perWl = point.find("perWorkload");
+        ASSERT_NE(perWl, nullptr);
+        ASSERT_EQ(perWl->size(), 2u);
+        for (std::size_t w = 0; w < perWl->size(); ++w) {
+            EXPECT_TRUE(perWl->at(w).find("validated")->asBool());
+            EXPECT_GT(perWl->at(w).find("events")->asNumber(), 0);
+        }
+    }
+    // The first point is the serial reference, its own speedup unit.
+    EXPECT_EQ(runs->at(0).find("shards")->asNumber(), 1);
+    EXPECT_DOUBLE_EQ(runs->at(0).find("speedup")->asNumber(), 1.0);
+}
+
+/**
+ * The scaling artifact is host wall-clock and must never enter the
+ * deterministic default artifact set; every other bench still does.
+ */
+TEST(StashbenchSchemaTest, ScalingBenchIsExplicitOnly)
+{
+    const BenchInfo *scaling = findBench("scaling");
+    ASSERT_NE(scaling, nullptr);
+    EXPECT_FALSE(scaling->defaultRun);
+    std::size_t defaulted = 0;
+    for (const BenchInfo &b : benchList()) {
+        if (b.defaultRun)
+            ++defaulted;
+        else
+            EXPECT_STREQ(b.name, "scaling");
+    }
+    EXPECT_EQ(defaulted, benchList().size() - 1);
 }
 
 TEST(StashbenchSchemaTest, AllRunsValidatedDetectsFailures)

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <thread>
 
 #include "driver/sweep.hh"
 
@@ -88,6 +89,38 @@ TEST(ShardParityTest, OneShardPerTileMatchesSerialToo)
 }
 
 /**
+ * Odd shard counts leave the tile->worker partition ragged (16 tiles
+ * over 3/5/7 workers), which is exactly where a partition-dependent
+ * bug would show up.  Parity must hold there too, on a synthetic
+ * workload whose traffic is irregular by construction.
+ */
+TEST(ShardParityTest, OddShardCountsMatchSerialByteForByte)
+{
+    auto makeSpec = [](unsigned shards) {
+        RunSpec spec;
+        spec.workload = "SynthMix";
+        spec.org = MemOrg::Stash;
+        spec.scale = workloads::Scale::Smoke;
+        spec.shards = shards;
+        return spec;
+    };
+
+    const std::vector<RunRecord> serial =
+        SweepDriver({1, 1, nullptr}).run({makeSpec(1)});
+    ASSERT_TRUE(serial[0].result.validated);
+    const std::string want = serializeRecords(serial);
+
+    for (unsigned shards : {3u, 5u, 7u}) {
+        const std::vector<RunRecord> sharded =
+            SweepDriver({1, 1, nullptr}).run({makeSpec(shards)});
+        ASSERT_TRUE(sharded[0].result.validated)
+            << "shards=" << shards;
+        EXPECT_EQ(want, serializeRecords(sharded))
+            << "shards=" << shards;
+    }
+}
+
+/**
  * The verify instruments must compose with the sharded engine: the
  * protocol checker audits and the watchdog's barrier checks observe
  * quantum boundaries, and neither perturbs the simulated outcome.
@@ -121,6 +154,43 @@ TEST(ShardParityTest, VerifyInstrumentsPreserveParity)
                 ? "?"
                 : sharded[0].result.errors[0]);
     EXPECT_EQ(serializeRecords(serial), serializeRecords(sharded));
+}
+
+/**
+ * `--shards 0` (auto-tune) may pick any worker count — including
+ * serial on a single-threaded host — but the simulated outcome must
+ * be byte-identical to the fixed serial run on every host, and the
+ * run must report the count it settled on.
+ */
+TEST(ShardParityTest, AutoTunedShardsMatchSerialByteForByte)
+{
+    auto makeSpec = [](unsigned shards) {
+        RunSpec spec;
+        spec.workload = "SynthMix";
+        spec.org = MemOrg::Stash;
+        spec.scale = workloads::Scale::Smoke;
+        spec.shards = shards;
+        return spec;
+    };
+
+    const std::vector<RunRecord> serial =
+        SweepDriver({1, 1, nullptr}).run({makeSpec(1)});
+    const std::vector<RunRecord> tuned =
+        SweepDriver({1, 1, nullptr}).run({makeSpec(0)});
+    ASSERT_TRUE(serial[0].result.validated);
+    ASSERT_TRUE(tuned[0].result.validated);
+    EXPECT_EQ(serializeRecords(serial), serializeRecords(tuned));
+
+    EXPECT_GE(tuned[0].result.shardsUsed, 1u);
+    EXPECT_FALSE(serial[0].result.shardsAutoTuned);
+    // On a multi-threaded host the run starts sharded and the tuner
+    // records its decision; a single-threaded host stays serial.
+    if (std::thread::hardware_concurrency() > 1) {
+        EXPECT_TRUE(tuned[0].result.shardsAutoTuned);
+        EXPECT_GT(tuned[0].result.autoEventsPerQuantum, 0);
+    } else {
+        EXPECT_FALSE(tuned[0].result.shardsAutoTuned);
+    }
 }
 
 } // namespace

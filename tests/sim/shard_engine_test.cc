@@ -7,9 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <mutex>
+#include <random>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -49,6 +52,97 @@ TEST(QuantumBarrierTest, CompletionRunsOncePerGenerationAndPublishes)
         t.join();
     EXPECT_EQ(completions, generations);
     EXPECT_EQ(mismatches.load(), 0);
+}
+
+/**
+ * More parties than hardware threads: every generation forces real
+ * blocking on the generation word (the spin budget cannot cover a
+ * descheduled party), so a lost futex wakeup would deadlock here.
+ */
+TEST(QuantumBarrierTest, PartiesExceedingHardwareThreadsMakeProgress)
+{
+    const unsigned parties =
+        std::max(4u, 4 * std::max(
+                         1u, std::thread::hardware_concurrency()));
+    constexpr int generations = 100;
+    QuantumBarrier barrier(parties);
+    std::atomic<std::uint64_t> completions{0};
+
+    std::vector<std::thread> threads;
+    for (unsigned p = 0; p < parties; ++p) {
+        threads.emplace_back([&] {
+            for (int g = 0; g < generations; ++g)
+                barrier.arriveAndWait([&] {
+                    completions.fetch_add(
+                        1, std::memory_order_relaxed);
+                });
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(completions.load(), std::uint64_t(generations));
+}
+
+/**
+ * Randomized arrival-order hammer: each party delays a random amount
+ * before arriving, so the last arriver (and the spin-vs-wait split of
+ * the others) varies per generation.  A lost generation wakeup or a
+ * miscounted arrival would hang or miscount; the join() itself is the
+ * no-deadlock assertion.
+ */
+TEST(QuantumBarrierTest, RandomizedArrivalOrderLosesNoWakeups)
+{
+    constexpr unsigned parties = 6;
+    constexpr int generations = 150;
+    QuantumBarrier barrier(parties);
+    int completions = 0; //!< completion-only, published by release
+    std::atomic<int> mismatches{0};
+
+    std::vector<std::thread> threads;
+    for (unsigned p = 0; p < parties; ++p) {
+        threads.emplace_back([&, p] {
+            std::mt19937 rng(0xB412 + p);
+            std::uniform_int_distribution<int> jitter(0, 3);
+            for (int g = 0; g < generations; ++g) {
+                switch (jitter(rng)) {
+                  case 0:
+                    break; // arrive immediately
+                  case 1:
+                    std::this_thread::yield();
+                    break;
+                  case 2:
+                    for (volatile int spin = 0; spin < 500; ++spin) {
+                    }
+                    break;
+                  default:
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(jitter(rng) * 37));
+                    break;
+                }
+                barrier.arriveAndWait([&] { ++completions; });
+                if (completions != g + 1)
+                    mismatches.fetch_add(1,
+                                         std::memory_order_relaxed);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(completions, generations);
+    EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(QuantumBarrierTest, ResetChangesThePartyCount)
+{
+    QuantumBarrier barrier(3);
+    EXPECT_EQ(barrier.parties(), 3u);
+    barrier.reset(1);
+    EXPECT_EQ(barrier.parties(), 1u);
+    // A single party is its own last arriver: no peers needed.
+    int completions = 0;
+    barrier.arriveAndWait([&] { ++completions; });
+    barrier.arriveAndWait([&] { ++completions; });
+    EXPECT_EQ(completions, 2);
 }
 
 TEST(ShardEngineTest, DefaultEngineIsSerial)
@@ -206,6 +300,123 @@ TEST(ShardEngineTest, WorkerExceptionParksFleetAndRethrows)
     EXPECT_LE(ran.load(), 4);
     EXPECT_FALSE(lateRan.load());
     EXPECT_GT(eng.totalPending(), 0u);
+}
+
+TEST(ShardEngineTest, FlushExceptionPropagatesWithoutHanging)
+{
+    ShardEngine::Options o;
+    o.tiles = 4;
+    o.threads = 2;
+    o.lookahead = 60;
+    ShardEngine eng(o);
+
+    for (unsigned t = 0; t < o.tiles; ++t) {
+        eng.queue(t).schedule(10 + t, [] {});
+        eng.queue(t).schedule(500 + t, [] {});
+    }
+
+    // drain() itself calls the flush once before the quantum loop;
+    // the *second* call is the first barrier-completion flush, which
+    // runs on whichever worker arrived last.  The error must cross
+    // back to the calling thread and the fleet must park (join), not
+    // deadlock on a barrier generation that never completes.
+    int calls = 0;
+    EXPECT_THROW(eng.drain(
+                     [&] {
+                         if (++calls == 2)
+                             throw std::runtime_error(
+                                 "flush exploded");
+                     },
+                     nullptr),
+                 std::runtime_error);
+    EXPECT_GE(calls, 2);
+    // The engine is still usable for inspection after the failure.
+    EXPECT_GT(eng.totalPending(), 0u);
+}
+
+TEST(ShardEngineTest, SetThreadsReshapesTheWorkerPoolBetweenDrains)
+{
+    ShardEngine::Options o;
+    o.tiles = 4;
+    o.threads = 1;
+    o.lookahead = 60;
+    ShardEngine eng(o);
+    EXPECT_FALSE(eng.serial()); // sharded topology, one worker
+    EXPECT_EQ(eng.numThreads(), 1u);
+
+    std::atomic<int> ran{0};
+    for (unsigned t = 0; t < o.tiles; ++t)
+        eng.queue(t).schedule(10 + t, [&] {
+            ran.fetch_add(1, std::memory_order_relaxed);
+        });
+    eng.drain([] {}, nullptr);
+    EXPECT_EQ(ran.load(), 4);
+
+    // Widen to the tile count; excess requests clamp.
+    eng.setThreads(100);
+    EXPECT_EQ(eng.numThreads(), o.tiles);
+    for (unsigned t = 0; t < o.tiles; ++t)
+        eng.queue(t).schedule(2000 + t, [&] {
+            ran.fetch_add(1, std::memory_order_relaxed);
+        });
+    eng.drain([] {}, nullptr);
+    EXPECT_EQ(ran.load(), 8);
+    EXPECT_EQ(eng.eventsExecuted(), 8u);
+
+    // And back down; zero clamps to one worker.
+    eng.setThreads(0);
+    EXPECT_EQ(eng.numThreads(), 1u);
+    eng.queue(2).schedule(5000, [&] {
+        ran.fetch_add(1, std::memory_order_relaxed);
+    });
+    eng.drain([] {}, nullptr);
+    EXPECT_EQ(ran.load(), 9);
+}
+
+TEST(ShardEngineTest, BreakdownReportsQuantaAndPerShardLanes)
+{
+    ShardEngine::Options o;
+    o.tiles = 4;
+    o.threads = 2;
+    o.lookahead = 60;
+    ShardEngine eng(o);
+
+    for (unsigned t = 0; t < o.tiles; ++t) {
+        for (Tick when : {Tick(10 + t), Tick(500 + t), Tick(3000)})
+            eng.queue(t).schedule(when, [] {});
+    }
+    eng.drain([] {}, nullptr);
+
+    const EngineBreakdown b = eng.breakdown();
+    EXPECT_EQ(b.quanta, eng.quantaExecuted());
+    ASSERT_GE(b.lanes.size(), o.threads);
+    std::uint64_t laneExec = 0;
+    std::uint64_t laneWait = 0;
+    for (const ShardLane &lane : b.lanes) {
+        laneExec += lane.execNs;
+        laneWait += lane.barrierWaitNs;
+    }
+    // Totals are exactly the lane sums (flushNs is tracked
+    // separately, inside the last-arriver's wait time).
+    EXPECT_EQ(b.execNs, laneExec);
+    EXPECT_EQ(b.barrierWaitNs, laneWait);
+}
+
+TEST(ShardEngineTest, SerialBreakdownTimesTheDrain)
+{
+    ShardEngine eng(ShardEngine::Options{});
+    ASSERT_TRUE(eng.serial());
+    // Enough work for a monotonic-clock delta to be visible.
+    for (int i = 0; i < 20000; ++i)
+        eng.queue(0).schedule(Tick(1 + i), [] {});
+    eng.drain(nullptr, nullptr);
+
+    const EngineBreakdown b = eng.breakdown();
+    EXPECT_GT(b.execNs, 0u);
+    EXPECT_EQ(b.barrierWaitNs, 0u);
+    EXPECT_EQ(b.flushNs, 0u);
+    ASSERT_EQ(b.lanes.size(), 1u);
+    EXPECT_EQ(b.lanes[0].execNs, b.execNs);
 }
 
 TEST(ShardEngineTest, EmptyShardedDrainIsANoOp)

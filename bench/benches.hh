@@ -111,6 +111,10 @@ struct BenchContext
     MemBackendKind backend = MemBackendKind::Fixed;
     /** Sweep progress stream; nullptr = silent. */
     std::ostream *progress = nullptr;
+    /** Artifact directory (CLI --out); benches that keep implicit
+     *  state (synthspace's sample farm) root it here when no
+     *  explicit stateDir was given. */
+    std::string outDir = ".";
     /** When nonempty, write per-run Chrome traces into this dir. */
     std::string traceDir;
     /** Include the full flattened stats map in every run object. */

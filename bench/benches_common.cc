@@ -28,6 +28,7 @@ report::JsonValue runAblationTranslationLatency(const BenchContext &ctx);
 report::JsonValue runAblationSparsitySweep(const BenchContext &ctx);
 report::JsonValue runMemBackend(const BenchContext &ctx);
 report::JsonValue runSynth(const BenchContext &ctx);
+report::JsonValue runSynthspace(const BenchContext &ctx);
 // Implemented in benches_scaling.cc.
 report::JsonValue runScaling(const BenchContext &ctx);
 
@@ -96,6 +97,14 @@ benchList()
          "Fixed workloads x shard counts {1,2,4,..,min(tiles,hw)}; "
          "run by name only — the artifact is host-dependent",
          runScaling, /*defaultRun=*/false},
+        {"synthspace",
+         "Sampled SynthMix parameter space: warm once per point, "
+         "fan organizations out from the checkpoint (explicit-only)",
+         "smoke quick full",
+         "5 ro/rw mix points x identity/scratchGD/stash deltas, "
+         "each point warmed once (DESIGN.md §17); run by "
+         "name only — it keeps farm state under --out",
+         runSynthspace, /*defaultRun=*/false},
     };
     return benches;
 }

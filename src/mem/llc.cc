@@ -500,24 +500,53 @@ LlcBank::snapshot(SnapshotWriter &w) const
 }
 
 void
-LlcBank::restore(SnapshotReader &r)
+LlcBank::restore(SnapshotReader &r, bool remap)
 {
-    r.require(r.u32() == sets, "LLC set count mismatch");
-    r.require(r.u32() == params.assoc, "LLC associativity mismatch");
+    const std::uint32_t savedSets = r.u32();
+    const std::uint32_t savedAssoc = r.u32();
+    if (!remap) {
+        r.require(savedSets == sets, "LLC set count mismatch");
+        r.require(savedAssoc == params.assoc,
+                  "LLC associativity mismatch");
+    }
     useClock = r.u64();
     readStats(r, _stats);
     lines.assign(lines.size(), Line{});
     const std::uint32_t allocated = r.u32();
     for (std::uint32_t k = 0; k < allocated; ++k) {
-        const std::uint32_t i = r.u32();
-        r.require(i < lines.size(), "LLC line index out of range");
-        Line &line = lines[i];
-        r.require(!line.allocated, "duplicate LLC line index");
-        line.allocated = true;
-        line.pa = r.u64();
-        line.dirty = r.b();
-        line.lastUse = r.u64();
-        for (WordEntry &we : line.words) {
+        const std::uint32_t savedIdx = r.u32();
+        r.require(savedIdx < savedSets * savedAssoc,
+                  "LLC line index out of range");
+        const PhysAddr pa = r.u64();
+        Line *line;
+        if (remap) {
+            // Declared geometry delta: re-derive the set from the
+            // line's address under the live geometry and take a free
+            // way there.  Relative lastUse order is preserved, so the
+            // LRU ordering of lines that land in the same new set is
+            // the warmed one.
+            Line *base = &lines[setIndex(pa) * params.assoc];
+            line = nullptr;
+            for (unsigned w = 0; w < params.assoc; ++w) {
+                if (!base[w].allocated) {
+                    line = &base[w];
+                    break;
+                }
+            }
+            r.require(line != nullptr,
+                      "LLC geometry delta: warmed footprint "
+                      "overflows a set of the new geometry");
+        } else {
+            r.require(savedIdx < lines.size(),
+                      "LLC line index out of range");
+            line = &lines[savedIdx];
+            r.require(!line->allocated, "duplicate LLC line index");
+        }
+        line->allocated = true;
+        line->pa = pa;
+        line->dirty = r.b();
+        line->lastUse = r.u64();
+        for (WordEntry &we : line->words) {
             const std::uint8_t st = r.u8();
             r.require(st <= std::uint8_t(WordState::Registered),
                       "bad word state");

@@ -93,8 +93,17 @@ class LlcBank : public MemObject
      */
     void snapshot(SnapshotWriter &w) const;
 
-    /** Restores a drain-point checkpoint into this (same-geometry) bank. */
-    void restore(SnapshotReader &r);
+    /**
+     * Restores a drain-point checkpoint.  With @p remap false the
+     * snapshot must come from an identical-geometry bank (the default
+     * exact path).  With @p remap true — a declared `llc` config delta
+     * (DESIGN.md §17) — the saved lines are re-inserted under this
+     * bank's live geometry: each line's set is re-derived from its
+     * physical address and the line takes a free way there.  A set
+     * overflow (the new geometry cannot hold the warmed footprint)
+     * is a structured SnapshotError, not silent dropping.
+     */
+    void restore(SnapshotReader &r, bool remap = false);
 
   private:
     /** Per-word registry entry. */

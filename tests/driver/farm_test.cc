@@ -20,7 +20,12 @@
 #include <thread>
 #include <vector>
 
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include "driver/farm.hh"
+#include "driver/sample.hh"
 #include "driver/sweep.hh"
 #include "workloads/workload_factory.hh"
 
@@ -493,6 +498,76 @@ TEST(FarmSweepTest, MidRunInterruptDropsResumableCheckpoint)
     EXPECT_EQ(full.gpuCycles, resumed.gpuCycles);
     EXPECT_EQ(full.perf.events, resumed.perf.events);
     EXPECT_EQ(full.energy.total(), resumed.energy.total());
+}
+
+TEST(FarmSweepTest, KilledSampleWorkerIsReclaimedByteIdentical)
+{
+    // Pristine single-process reference campaign.
+    SampleRequest ref;
+    ref.workload = "Reuse";
+    ref.org = MemOrg::Stash;
+    ref.scale = workloads::Scale::Smoke;
+    ref.threads = 1;
+    ref.stateDir = freshDir("farm_sample_ref");
+    std::string err;
+    ASSERT_TRUE(parseSampleDeltas("identity,local:32,org:Cache",
+                                  ref.deltas, err))
+        << err;
+    const SampleOutcome refOut = runSample(ref);
+    ASSERT_TRUE(refOut.warm.result.validated);
+    ASSERT_EQ(refOut.runs.size(), 3u);
+    for (const RunRecord &rec : refOut.runs)
+        ASSERT_TRUE(rec.result.validated) << rec.spec.label();
+    const std::string refJson = sampleToJson(ref, refOut).dump();
+
+    // A worker process SIGKILLs itself mid-interval: the decorate
+    // hook plants a finish callback on the second delta, so the child
+    // dies after simulating it but before its result settles — the
+    // lease is still held, heartbeat and all.
+    SampleRequest req = ref;
+    req.stateDir = freshDir("farm_sample_crash");
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        SampleRequest victim = req;
+        victim.decorate = [](std::size_t i, RunSpec &s) {
+            if (i == 1)
+                s.finish = [](System &, const RunResult &) {
+                    ::raise(SIGKILL);
+                };
+        };
+        runSample(victim);
+        ::_exit(0); // not reached
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+    // Exactly the killed interval's lease survives, un-released, in
+    // the fan-out stage's state dir.  Rewind its heartbeat past the
+    // TTL so the surviving worker reclaims it immediately.
+    const std::string measureDir = req.stateDir + "/measure";
+    const auto leases = filesWithPrefix(measureDir, "LEASE_");
+    ASSERT_EQ(leases.size(), 1u);
+    {
+        std::ofstream os(leases[0], std::ios::trunc);
+        os << "{\"schema\": \"stashsim-farm-lease-v1\", "
+              "\"worker\": \"dead\", \"pid\": 1, \"heartbeatMs\": 1, "
+              "\"attempt\": 1, \"released\": false}";
+    }
+
+    // The surviving worker drains the campaign: warm checkpoint and
+    // the settled intervals serve from cache, the orphaned interval
+    // is reclaimed and rerun, and the artifact is byte-identical to
+    // the never-crashed run.
+    const SampleOutcome out = runSample(req);
+    ASSERT_EQ(out.runs.size(), 3u);
+    for (const RunRecord &rec : out.runs)
+        EXPECT_TRUE(rec.result.validated) << rec.spec.label();
+    EXPECT_GE(out.counters.reclaimedLeases, 1u);
+    EXPECT_TRUE(filesWithPrefix(measureDir, "LEASE_").empty());
+    EXPECT_EQ(sampleToJson(req, out).dump(), refJson);
 }
 
 } // namespace
